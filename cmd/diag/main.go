@@ -1,0 +1,65 @@
+// Command diag is a development harness: it compares flow variants on a
+// few profiles and prints HOF/VOF/WL/RT side by side. It is the tool used
+// to calibrate the baseline profiles against the paper's Table II shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"puffer"
+	"puffer/internal/baseline"
+	"puffer/internal/router"
+	"puffer/internal/synth"
+)
+
+func main() {
+	scale := flag.Int("scale", 3000, "profile scale")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	designs := []string{"CT_TOP", "MEDIA_SUBSYS", "A53_ADB_WRAP", "OR1200"}
+	variants := []string{"plain", "puffer", "commercial", "replace"}
+
+	for _, dname := range designs {
+		p, _ := synth.ProfileByName(dname)
+		for _, v := range variants {
+			d := synth.Generate(p, *scale, *seed)
+			gw, gh := puffer.CongGridFor(d)
+			start := time.Now()
+			var err error
+			switch v {
+			case "plain": // wirelength-only flow, no routability optimizer
+				cfg := puffer.DefaultConfig()
+				cfg.Place.Seed = *seed
+				cfg.Strategy.MaxIters = 0
+				cfg.Legal.InheritPadding = false
+				cfg.DP.PreservePadding = false
+				cfg.DP.Passes = 2
+				_, err = puffer.Run(d, cfg)
+			case "puffer":
+				cfg := puffer.DefaultConfig()
+				cfg.Place.Seed = *seed
+				_, err = puffer.Run(d, cfg)
+			case "commercial":
+				opts := baseline.DefaultCommercialOpts()
+				opts.Place.Seed = *seed
+				_, err = baseline.RunCommercial(d, opts, gw, gh)
+			case "replace":
+				opts := baseline.DefaultRePlAceOpts()
+				opts.Place.Seed = *seed
+				_, err = baseline.RunRePlAce(d, opts, gw, gh)
+			}
+			rt := time.Since(start)
+			if err != nil {
+				fmt.Printf("%-14s %-12s ERROR %v\n", dname, v, err)
+				continue
+			}
+			rr := puffer.Evaluate(d, router.DefaultConfig())
+			fmt.Printf("%-14s %-12s HOF=%6.2f VOF=%6.2f WL=%7.0f RT=%6.0fms\n",
+				dname, v, rr.HOF, rr.VOF, rr.WL, float64(rt.Milliseconds()))
+		}
+		fmt.Println()
+	}
+}

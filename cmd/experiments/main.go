@@ -1,0 +1,124 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic benchmark suite, plus the ablation
+// studies DESIGN.md lists.
+//
+// Usage:
+//
+//	experiments -all                       # everything at the quick scale
+//	experiments -table2 -scale 800         # the full comparison, larger designs
+//	experiments -fig5 -pgm maps/           # congestion maps + PGM images
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"puffer/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every table, figure and ablation")
+		table1   = flag.Bool("table1", false, "Table I: benchmark statistics")
+		table2   = flag.Bool("table2", false, "Table II: HOF/VOF/WL/RT comparison")
+		fig1     = flag.Bool("fig1", false, "Fig 1: grid-graph model")
+		fig2     = flag.Bool("fig2", false, "Fig 2: algorithm flow trace")
+		fig3     = flag.Bool("fig3", false, "Fig 3: congestion estimation maps")
+		fig4     = flag.Bool("fig4", false, "Fig 4: feature extraction")
+		fig5     = flag.Bool("fig5", false, "Fig 5: congestion map comparison")
+		ablat    = flag.Bool("ablations", false, "ablation studies")
+		sweep    = flag.Bool("rtsweep", false, "runtime-scaling sweep across design sizes")
+		parallel = flag.Bool("parallel", false, "run Table-II cells concurrently (RT column becomes noisy)")
+		scale    = flag.Int("scale", 3000, "profile scale divisor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		iters    = flag.Int("iters", 0, "max GP iterations (0 = default)")
+		pgmDir   = flag.String("pgm", "", "write Fig-5 maps as PGM images into this directory")
+		subset   = flag.String("designs", "", "comma-separated design subset for Table II")
+	)
+	flag.Parse()
+	if !(*all || *table1 || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *ablat || *sweep) {
+		*all = true
+	}
+
+	o := experiments.Options{
+		Scale: *scale, Seed: *seed, PlaceIters: *iters, Parallel: *parallel,
+		Logf: func(format string, args ...any) { log.Printf(format, args...) },
+	}
+	if *subset != "" {
+		o.Designs = strings.Split(*subset, ",")
+	}
+
+	if *all || *table1 {
+		fmt.Println(experiments.FormatTable1(experiments.Table1(o)))
+	}
+	if *all || *fig1 {
+		fmt.Println(experiments.Fig1())
+	}
+	if *all || *fig2 {
+		fmt.Println(experiments.Fig2(o))
+	}
+	if *all || *fig3 {
+		fmt.Println(experiments.Fig3())
+	}
+	if *all || *fig4 {
+		fmt.Println(experiments.Fig4())
+	}
+	if *all || *table2 {
+		rows, sums, err := experiments.Table2(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		experiments.SortRows(rows)
+		fmt.Println(experiments.FormatTable2(rows, sums))
+	}
+	if *all || *fig5 {
+		maps, err := experiments.Fig5(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatFig5(maps))
+		if *pgmDir != "" {
+			if err := os.MkdirAll(*pgmDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			for _, m := range maps {
+				base := filepath.Join(*pgmDir, fmt.Sprintf("%s_%s", m.Design, m.Placer))
+				if err := experiments.WritePGM(base+"_h.pgm", m.H, m.W, m.Ht); err != nil {
+					log.Fatal(err)
+				}
+				if err := experiments.WritePGM(base+"_v.pgm", m.V, m.W, m.Ht); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("PGM maps written to %s\n", *pgmDir)
+		}
+	}
+	if *sweep {
+		rows, err := experiments.RTSweep("MEDIA_SUBSYS", []int{6000, 3000, 1500, 800, 400}, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.FormatRTSweep("MEDIA_SUBSYS", rows))
+	}
+	if *all || *ablat {
+		var rows []experiments.AblationResult
+		for _, fn := range []func(experiments.Options) (experiments.AblationResult, error){
+			experiments.AblationFeatures,
+			experiments.AblationExpansion,
+			experiments.AblationRecycling,
+			experiments.AblationLegalPadding,
+		} {
+			r, err := fn(o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rows = append(rows, r)
+		}
+		rows = append(rows, experiments.AblationTPE(*seed))
+		fmt.Println(experiments.FormatAblations(rows))
+	}
+}

@@ -1,0 +1,227 @@
+// Command puffer runs the PUFFER routability-driven placement flow (or one
+// of the Table-II baselines) on a synthetic benchmark profile or a
+// Bookshelf design, then evaluates the result with the built-in global
+// router.
+//
+// Usage:
+//
+//	puffer -design MEDIA_SUBSYS -scale 800                 # synthetic profile
+//	puffer -aux path/to/design.aux                         # Bookshelf input
+//	puffer -design OR1200 -placer replace                  # baseline flow
+//	puffer -design OR1200 -out placed/ -pgm maps/          # save results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"puffer"
+	"puffer/internal/baseline"
+	"puffer/internal/bookshelf"
+	"puffer/internal/experiments"
+	"puffer/internal/legal"
+	"puffer/internal/netlist"
+	"puffer/internal/report"
+	"puffer/internal/router"
+	"puffer/internal/synth"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "", "synthetic benchmark profile name (see -list)")
+		aux      = flag.String("aux", "", "Bookshelf .aux file to place instead of a profile")
+		scale    = flag.Int("scale", 800, "profile scale divisor (paper size / scale)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		placer   = flag.String("placer", "puffer", "flow: puffer | replace | commercial")
+		iters    = flag.Int("iters", 0, "max global placement iterations (0 = default)")
+		outDir   = flag.String("out", "", "write the placed design as Bookshelf into this directory")
+		pgmDir   = flag.String("pgm", "", "write routed congestion maps as PGM images into this directory")
+		noEval   = flag.Bool("noeval", false, "skip the global-routing evaluation")
+		verify   = flag.Bool("verify", true, "check placement legality after the flow")
+		layers   = flag.Bool("layers", false, "report per-layer utilization and via counts after routing")
+		trace    = flag.String("trace", "", "write the global-placement iteration trace (CSV) to this file")
+		htmlOut  = flag.String("report", "", "write an HTML placement/congestion report to this file")
+		strategy = flag.String("strategy", "", "JSON strategy file from cmd/explore -out")
+		list     = flag.Bool("list", false, "list the synthetic benchmark profiles and exit")
+		verbose  = flag.Bool("v", false, "verbose progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available profiles (paper statistics):")
+		for _, p := range synth.Profiles {
+			fmt.Printf("  %-16s macros=%-4d cells=%-8d nets=%-8d pins=%d\n",
+				p.Name, p.Macros, p.Cells, p.Nets, p.Pins)
+		}
+		return
+	}
+
+	var d *netlist.Design
+	switch {
+	case *aux != "":
+		var err error
+		d, err = bookshelf.Parse(*aux)
+		if err != nil {
+			log.Fatalf("parse %s: %v", *aux, err)
+		}
+		fmt.Printf("loaded %s: %d cells, %d nets, %d pins\n",
+			d.Name, len(d.Cells), len(d.Nets), len(d.Pins))
+	case *design != "":
+		p, err := synth.ProfileByName(*design)
+		if err != nil {
+			log.Fatalf("%v (use -list)", err)
+		}
+		d = synth.Generate(p, *scale, *seed)
+		s := d.Stats()
+		fmt.Printf("generated %s at 1:%d: %d macros, %d cells, %d nets, %d pins\n",
+			d.Name, *scale, s.Macros, s.Cells, s.Nets, s.Pins)
+	default:
+		log.Fatal("one of -design or -aux is required (see -list)")
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	start := time.Now()
+	gw, gh := puffer.CongGridFor(d)
+	switch *placer {
+	case "puffer":
+		cfg := puffer.DefaultConfig()
+		cfg.Place.Seed = *seed
+		cfg.Logf = logf
+		if *iters > 0 {
+			cfg.Place.MaxIters = *iters
+		}
+		if *strategy != "" {
+			s, err := puffer.LoadStrategy(*strategy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Strategy = s
+			cfg.Legal.Theta = s.Theta
+		}
+		res, err := puffer.Run(d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("PUFFER: GP iters=%d overflow=%.3f, %d padding rounds, legal avg disp=%.3f, HPWL=%.0f\n",
+			res.GP.Iters, res.GP.Overflow, len(res.PaddingRuns), res.Legal.AvgDisplacement, res.HPWL)
+		if *trace != "" {
+			var b strings.Builder
+			b.WriteString("iter,hpwl,overflow,lambda,gamma,padded\n")
+			for _, it := range res.GP.Trace {
+				fmt.Fprintf(&b, "%d,%g,%g,%g,%g,%t\n",
+					it.Iter, it.HPWL, it.Overflow, it.Lambda, it.Gamma, it.Padded)
+			}
+			if err := os.WriteFile(*trace, []byte(b.String()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("iteration trace written to %s\n", *trace)
+		}
+	case "replace":
+		opts := baseline.DefaultRePlAceOpts()
+		opts.Place.Seed = *seed
+		opts.Place.Logf = logf
+		if *iters > 0 {
+			opts.Place.MaxIters = *iters
+		}
+		res, err := baseline.RunRePlAce(d, opts, gw, gh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("RePlAce: GP iters=%d overflow=%.3f, %d inflation rounds, HPWL=%.0f\n",
+			res.GP.Iters, res.GP.Overflow, res.OptimizerCalls, res.HPWL)
+	case "commercial":
+		opts := baseline.DefaultCommercialOpts()
+		opts.Place.Seed = *seed
+		opts.Place.Logf = logf
+		if *iters > 0 {
+			opts.Place.MaxIters = *iters
+		}
+		res, err := baseline.RunCommercial(d, opts, gw, gh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Commercial: GP iters=%d overflow=%.3f, %d optimizer calls, HPWL=%.0f\n",
+			res.GP.Iters, res.GP.Overflow, res.OptimizerCalls, res.HPWL)
+	default:
+		log.Fatalf("unknown placer %q", *placer)
+	}
+	fmt.Printf("placement runtime: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *verify {
+		if vs := legal.Check(d, 5); len(vs) > 0 {
+			fmt.Printf("LEGALITY: %d violations, first: %s\n", len(vs), vs[0])
+		} else {
+			fmt.Println("legality check: clean")
+		}
+	}
+
+	var routed *router.Result
+	if !*noEval {
+		rr := puffer.Evaluate(d, router.DefaultConfig())
+		routed = rr
+		fmt.Printf("routed: HOF=%.2f%% VOF=%.2f%% WL=%.0f (%d segments, %d rerouted)\n",
+			rr.HOF, rr.VOF, rr.WL, rr.Segments, rr.Rerouted)
+		peak, ace := rr.Map.StandardACE()
+		fmt.Printf("ACE: peak=%.3f 0.5%%=%.3f 1%%=%.3f 2%%=%.3f 5%%=%.3f\n",
+			peak, ace[0], ace[1], ace[2], ace[3])
+		pass := "PASS"
+		if rr.HOF > 1 || rr.VOF > 1 {
+			pass = "FAIL"
+		}
+		fmt.Printf("routability (1%% criterion): %s\n", pass)
+		if *layers {
+			la := router.AssignLayers(d, rr)
+			for l := range la.Layers {
+				fmt.Printf("layer %-3s %v util=%.3f overflow=%.1f\n",
+					la.Layers[l].Name, la.Layers[l].Dir, la.Utilization(l), la.OverflowByLayer[l])
+			}
+			fmt.Printf("total vias: %.0f\n", la.TotalVias)
+		}
+		if *pgmDir != "" {
+			if err := os.MkdirAll(*pgmDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			m := rr.Map
+			h := make([]float64, m.W*m.H)
+			v := make([]float64, m.W*m.H)
+			for i := range h {
+				h[i] = m.OverflowH(i)
+				v[i] = m.OverflowV(i)
+			}
+			base := filepath.Join(*pgmDir, d.Name+"_"+*placer)
+			if err := experiments.WritePGM(base+"_h.pgm", h, m.W, m.H); err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.WritePGM(base+"_v.pgm", v, m.W, m.H); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("congestion maps written to %s_{h,v}.pgm\n", base)
+		}
+	}
+
+	if *htmlOut != "" {
+		o := report.DefaultOptions()
+		o.Title = fmt.Sprintf("%s — %s", d.Name, *placer)
+		if err := report.Write(*htmlOut, d, routed, o); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HTML report written to %s\n", *htmlOut)
+	}
+
+	if *outDir != "" {
+		auxPath, err := bookshelf.Write(d, *outDir, d.Name+"_placed")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("placed design written to %s\n", auxPath)
+	}
+}

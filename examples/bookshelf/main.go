@@ -1,0 +1,63 @@
+// Bookshelf demonstrates file-based interoperability: a benchmark is
+// generated, written in the standard Bookshelf format (.aux/.nodes/.nets/
+// .pl/.scl/.wts), parsed back, placed with PUFFER, and the placed result
+// is written out again — the round trip any external placement or
+// evaluation tool would use.
+//
+//	go run ./examples/bookshelf
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"puffer"
+	"puffer/internal/bookshelf"
+	"puffer/internal/router"
+	"puffer/internal/synth"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "puffer-bookshelf-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Generate and export.
+	profile, err := synth.ProfileByName("ASIC_ENTITY")
+	if err != nil {
+		log.Fatal(err)
+	}
+	original := synth.Generate(profile, 1500, 7)
+	auxPath, err := bookshelf.Write(original, dir, "asic_entity")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", auxPath)
+
+	// Parse back and verify the round trip.
+	design, err := bookshelf.Parse(auxPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := design.Stats()
+	fmt.Printf("parsed %s: %d macros, %d cells, %d nets, %d pins (HPWL %.0f)\n",
+		design.Name, s.Macros, s.Cells, s.Nets, s.Pins, design.HPWL())
+
+	// Place and evaluate.
+	if _, err := puffer.Run(design, puffer.DefaultConfig()); err != nil {
+		log.Fatal(err)
+	}
+	rr := puffer.Evaluate(design, router.DefaultConfig())
+	fmt.Printf("placed: HPWL=%.0f, routed HOF=%.2f%% VOF=%.2f%%\n",
+		design.HPWL(), rr.HOF, rr.VOF)
+
+	// Export the placed result.
+	placedPath, err := bookshelf.Write(design, dir, "asic_entity_placed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote placed design to %s\n", placedPath)
+}

@@ -1,0 +1,39 @@
+// Congestionmaps reproduces the paper's Fig. 5 experiment on one design:
+// it places the MEDIA_SUBSYS profile with the three compared flows
+// (commercial profile, RePlAce-style, PUFFER), routes each result, and
+// renders horizontal/vertical overflow heat maps side by side (plus PGM
+// images under ./maps for external viewers).
+//
+//	go run ./examples/congestionmaps
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"puffer/internal/experiments"
+)
+
+func main() {
+	opts := experiments.DefaultOptions()
+	opts.Scale = 2000
+	opts.Logf = func(format string, args ...any) { fmt.Printf("  "+format+"\n", args...) }
+
+	maps, err := experiments.Fig5(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.FormatFig5(maps))
+
+	for _, m := range maps {
+		base := fmt.Sprintf("maps/%s_%s", m.Design, m.Placer)
+		if err := experiments.WritePGM(base+"_h.pgm", m.H, m.W, m.Ht); err != nil {
+			log.Printf("skip %s: %v (run from repo root to write PGM files)", base, err)
+			break
+		}
+		if err := experiments.WritePGM(base+"_v.pgm", m.V, m.W, m.Ht); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s_{h,v}.pgm\n", base)
+	}
+}

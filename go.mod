@@ -1,0 +1,3 @@
+module puffer
+
+go 1.22

@@ -1,0 +1,115 @@
+package baseline
+
+import (
+	"testing"
+
+	"puffer/internal/netlist"
+	"puffer/internal/place"
+	"puffer/internal/synth"
+)
+
+// quick builds a small stressed design.
+func quick(t *testing.T) *netlist.Design {
+	t.Helper()
+	p, err := synth.ProfileByName("MEDIA_SUBSYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return synth.Generate(p, 3000, 1)
+}
+
+func fastPlace() place.Config {
+	cfg := place.DefaultConfig()
+	cfg.MaxIters = 400
+	cfg.GridM, cfg.GridN = 32, 32
+	return cfg
+}
+
+func checkPlaced(t *testing.T, d *netlist.Design) {
+	t.Helper()
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		if !d.Region.ContainsClosed(c.Center()) {
+			t.Fatalf("cell %d center outside region", i)
+		}
+		ry := (c.Y - d.Region.Lo.Y) / d.RowHeight
+		if ry != float64(int(ry)) {
+			t.Fatalf("cell %d not row aligned (y=%v)", i, c.Y)
+		}
+	}
+}
+
+func TestRunRePlAce(t *testing.T) {
+	d := quick(t)
+	opts := DefaultRePlAceOpts()
+	opts.Place = fastPlace()
+	opts.Place.StopOverflow = 0.09
+	res, err := RunRePlAce(d, opts, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlaced(t, d)
+	if res.HPWL <= 0 {
+		t.Error("zero HPWL")
+	}
+	if res.OptimizerCalls == 0 {
+		t.Error("inflation never triggered on a stressed design")
+	}
+	// RePlAce keeps inflation out of legalization, but the PadW bookkeeping
+	// from GP remains recorded on the cells.
+	if d.TotalPaddingArea() <= 0 {
+		t.Error("no inflation recorded")
+	}
+}
+
+func TestRunCommercial(t *testing.T) {
+	d := quick(t)
+	opts := DefaultCommercialOpts()
+	opts.Place = fastPlace()
+	opts.Place.StopOverflow = 0.08
+	opts.Place.MaxIters = 450
+	res, err := RunCommercial(d, opts, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlaced(t, d)
+	if res.OptimizerCalls == 0 {
+		t.Error("router-in-the-loop optimizer never fired")
+	}
+	if res.HPWL <= 0 {
+		t.Error("zero HPWL")
+	}
+}
+
+func TestRePlAceInflationIsTruncated(t *testing.T) {
+	// Cells in slack regions (negative congestion) must receive no
+	// inflation: the baseline discards slack information by design.
+	d := quick(t)
+	opts := DefaultRePlAceOpts()
+	opts.Place = fastPlace()
+	if _, err := RunRePlAce(d, opts, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Cells {
+		if d.Cells[i].PadW < 0 {
+			t.Fatalf("negative inflation on cell %d", i)
+		}
+	}
+}
+
+func TestRePlAceTotalCap(t *testing.T) {
+	d := quick(t)
+	opts := DefaultRePlAceOpts()
+	opts.Place = fastPlace()
+	opts.TotalCap = 0.02
+	opts.Gain = 10 // force the cap
+	if _, err := RunRePlAce(d, opts, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	if total := d.TotalPaddingArea(); total > 0.02*d.TotalMovableArea()+1e-6 {
+		t.Errorf("inflation area %v exceeds cap", total)
+	}
+}

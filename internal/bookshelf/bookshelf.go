@@ -1,0 +1,441 @@
+// Package bookshelf reads and writes the Bookshelf placement benchmark
+// format (.aux/.nodes/.nets/.pl/.scl/.wts), the lingua franca of academic
+// placement. The paper evaluates on proprietary industrial designs that
+// cannot be redistributed; this parser lets the framework run on any
+// public Bookshelf benchmark, and the synthetic generator (package synth)
+// writes Bookshelf so generated designs can be inspected with standard
+// tools.
+package bookshelf
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// Parse loads the design referenced by a .aux file.
+func Parse(auxPath string) (*netlist.Design, error) {
+	files, err := parseAux(auxPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(auxPath)
+	d := &netlist.Design{
+		Name:   strings.TrimSuffix(filepath.Base(auxPath), ".aux"),
+		Layers: netlist.DefaultLayers(),
+	}
+	names := map[string]int{}
+	if f, ok := files["nodes"]; ok {
+		if err := parseNodes(filepath.Join(dir, f), d, names); err != nil {
+			return nil, fmt.Errorf("nodes: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("bookshelf: aux lists no .nodes file")
+	}
+	if f, ok := files["pl"]; ok {
+		if err := parsePl(filepath.Join(dir, f), d, names); err != nil {
+			return nil, fmt.Errorf("pl: %w", err)
+		}
+	}
+	if f, ok := files["scl"]; ok {
+		if err := parseScl(filepath.Join(dir, f), d); err != nil {
+			return nil, fmt.Errorf("scl: %w", err)
+		}
+	}
+	if f, ok := files["nets"]; ok {
+		if err := parseNets(filepath.Join(dir, f), d, names); err != nil {
+			return nil, fmt.Errorf("nets: %w", err)
+		}
+	}
+	if f, ok := files["wts"]; ok {
+		if err := parseWts(filepath.Join(dir, f), d); err != nil {
+			return nil, fmt.Errorf("wts: %w", err)
+		}
+	}
+	if f, ok := files["route"]; ok {
+		ri, err := ParseRoute(filepath.Join(dir, f))
+		if err != nil {
+			return nil, fmt.Errorf("route: %w", err)
+		}
+		if err := ri.Apply(d); err != nil {
+			return nil, fmt.Errorf("route: %w", err)
+		}
+	}
+	if d.Region.Empty() {
+		// Fall back to the bounding box of all cells.
+		for i := range d.Cells {
+			d.Region = d.Region.Union(d.Cells[i].Rect())
+		}
+	}
+	classifyMacros(d)
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// classifyMacros tags fixed cells much taller than a row as macros, which
+// is the usual Bookshelf convention (terminals include both IO pads and
+// macro blocks).
+func classifyMacros(d *netlist.Design) {
+	if d.RowHeight <= 0 {
+		return
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed && c.H > 2*d.RowHeight && c.Area() > 0 {
+			c.Macro = true
+		}
+	}
+}
+
+// parseAux extracts the per-extension filenames from the aux line.
+func parseAux(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.Index(line, ":"); i >= 0 {
+			line = line[i+1:]
+		}
+		for _, tok := range strings.Fields(line) {
+			ext := strings.TrimPrefix(filepath.Ext(tok), ".")
+			if ext != "" {
+				out[ext] = tok
+			}
+		}
+	}
+	return out, nil
+}
+
+// lineScanner iterates non-comment, non-header lines of a Bookshelf file.
+func lineScanner(path string, fn func(fields []string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "UCLA") {
+			continue
+		}
+		if err := fn(strings.Fields(line)); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+func parseNodes(path string, d *netlist.Design, names map[string]int) error {
+	return lineScanner(path, func(f []string) error {
+		if f[0] == "NumNodes" || f[0] == "NumTerminals" {
+			return nil
+		}
+		if len(f) < 3 {
+			return fmt.Errorf("bad node line %q", strings.Join(f, " "))
+		}
+		w, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return err
+		}
+		h, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return err
+		}
+		fixed := len(f) > 3 && strings.HasPrefix(f[3], "terminal")
+		names[f[0]] = d.AddCell(netlist.Cell{Name: f[0], W: w, H: h, Fixed: fixed})
+		return nil
+	})
+}
+
+func parsePl(path string, d *netlist.Design, names map[string]int) error {
+	return lineScanner(path, func(f []string) error {
+		if len(f) < 3 {
+			return nil
+		}
+		id, ok := names[f[0]]
+		if !ok {
+			return fmt.Errorf("unknown node %q", f[0])
+		}
+		x, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return err
+		}
+		y, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return err
+		}
+		c := &d.Cells[id]
+		c.X, c.Y = x, y
+		for _, tok := range f[3:] {
+			if strings.Contains(tok, "FIXED") {
+				c.Fixed = true
+			}
+		}
+		return nil
+	})
+}
+
+func parseScl(path string, d *netlist.Design) error {
+	var cur *netlist.Row
+	var height float64
+	err := lineScanner(path, func(f []string) error {
+		switch f[0] {
+		case "NumRows":
+			return nil
+		case "CoreRow":
+			cur = &netlist.Row{}
+			height = 0
+		case "End":
+			if cur != nil {
+				d.Rows = append(d.Rows, *cur)
+				if height > d.RowHeight {
+					d.RowHeight = height
+				}
+				if cur.SiteW > 0 && (d.SiteWidth == 0 || cur.SiteW < d.SiteWidth) {
+					d.SiteWidth = cur.SiteW
+				}
+				cur = nil
+			}
+		default:
+			if cur == nil || len(f) < 3 {
+				return nil
+			}
+			key := strings.ToLower(f[0])
+			val, err := strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil // tolerate unknown attributes
+			}
+			switch key {
+			case "coordinate":
+				cur.Y = val
+			case "height":
+				height = val
+			case "sitewidth":
+				cur.SiteW = val
+			case "subroworigin":
+				cur.X = val
+				// NumSites may follow on the same line:
+				// "SubrowOrigin : x NumSites : n"
+				for i := 3; i+2 < len(f); i++ {
+					if strings.EqualFold(f[i], "NumSites") {
+						if n, err := strconv.ParseFloat(f[i+2], 64); err == nil {
+							cur.W = n * cur.SiteW
+						}
+					}
+				}
+			case "numsites":
+				cur.W = val * cur.SiteW
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Region from the rows.
+	for _, r := range d.Rows {
+		d.Region = d.Region.Union(geom.RectWH(r.X, r.Y, r.W, d.RowHeight))
+	}
+	return nil
+}
+
+func parseNets(path string, d *netlist.Design, names map[string]int) error {
+	curNet := -1
+	return lineScanner(path, func(f []string) error {
+		switch f[0] {
+		case "NumNets", "NumPins":
+			return nil
+		case "NetDegree":
+			name := ""
+			if len(f) >= 4 {
+				name = f[3]
+			}
+			curNet = d.AddNet(name, 1)
+			return nil
+		}
+		if curNet < 0 {
+			return fmt.Errorf("pin line before NetDegree")
+		}
+		id, ok := names[f[0]]
+		if !ok {
+			return fmt.Errorf("unknown node %q", f[0])
+		}
+		// "node I/O/B : dx dy" with offsets from the node center.
+		dx, dy := 0.0, 0.0
+		if len(f) >= 5 {
+			var err error
+			if dx, err = strconv.ParseFloat(f[3], 64); err != nil {
+				return err
+			}
+			if dy, err = strconv.ParseFloat(f[4], 64); err != nil {
+				return err
+			}
+		}
+		c := &d.Cells[id]
+		d.Connect(id, curNet, c.W/2+dx, c.H/2+dy)
+		return nil
+	})
+}
+
+func parseWts(path string, d *netlist.Design) error {
+	byName := map[string]int{}
+	for i := range d.Nets {
+		if d.Nets[i].Name != "" {
+			byName[d.Nets[i].Name] = i
+		}
+	}
+	return lineScanner(path, func(f []string) error {
+		if len(f) < 2 {
+			return nil
+		}
+		if id, ok := byName[f[0]]; ok {
+			if w, err := strconv.ParseFloat(f[1], 64); err == nil {
+				d.Nets[id].Weight = w
+			}
+		}
+		return nil
+	})
+}
+
+// Write emits the design as a Bookshelf benchmark into dir with the given
+// base name, returning the .aux path.
+func Write(d *netlist.Design, dir, base string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+
+	var nodes strings.Builder
+	fmt.Fprintf(&nodes, "UCLA nodes 1.0\n\n")
+	terminals := 0
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			terminals++
+		}
+	}
+	fmt.Fprintf(&nodes, "NumNodes : %d\n", len(d.Cells))
+	fmt.Fprintf(&nodes, "NumTerminals : %d\n", terminals)
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		term := ""
+		if c.Fixed {
+			term = " terminal"
+		}
+		fmt.Fprintf(&nodes, "   %s %g %g%s\n", cellName(d, i), c.W, c.H, term)
+	}
+
+	var pl strings.Builder
+	fmt.Fprintf(&pl, "UCLA pl 1.0\n\n")
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		fixed := ""
+		if c.Fixed {
+			fixed = " /FIXED"
+		}
+		fmt.Fprintf(&pl, "%s %g %g : N%s\n", cellName(d, i), c.X, c.Y, fixed)
+	}
+
+	var nets strings.Builder
+	fmt.Fprintf(&nets, "UCLA nets 1.0\n\n")
+	fmt.Fprintf(&nets, "NumNets : %d\n", len(d.Nets))
+	fmt.Fprintf(&nets, "NumPins : %d\n", len(d.Pins))
+	for n := range d.Nets {
+		net := &d.Nets[n]
+		name := net.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", n)
+		}
+		fmt.Fprintf(&nets, "NetDegree : %d %s\n", len(net.Pins), name)
+		for _, pid := range net.Pins {
+			p := &d.Pins[pid]
+			c := &d.Cells[p.Cell]
+			fmt.Fprintf(&nets, "   %s B : %g %g\n", cellName(d, p.Cell), p.Dx-c.W/2, p.Dy-c.H/2)
+		}
+	}
+
+	var wts strings.Builder
+	fmt.Fprintf(&wts, "UCLA wts 1.0\n\n")
+	for n := range d.Nets {
+		name := d.Nets[n].Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", n)
+		}
+		fmt.Fprintf(&wts, "%s %g\n", name, weightOr1(d.Nets[n].Weight))
+	}
+
+	var scl strings.Builder
+	rows := d.Rows
+	if len(rows) == 0 && d.RowHeight > 0 {
+		nRows := int(d.Region.H() / d.RowHeight)
+		for r := 0; r < nRows; r++ {
+			rows = append(rows, netlist.Row{
+				X: d.Region.Lo.X, Y: d.Region.Lo.Y + float64(r)*d.RowHeight,
+				W: d.Region.W(), SiteW: d.SiteWidth,
+			})
+		}
+	}
+	fmt.Fprintf(&scl, "UCLA scl 1.0\n\n")
+	fmt.Fprintf(&scl, "NumRows : %d\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(&scl, "CoreRow Horizontal\n")
+		fmt.Fprintf(&scl, "  Coordinate : %g\n", r.Y)
+		fmt.Fprintf(&scl, "  Height : %g\n", d.RowHeight)
+		fmt.Fprintf(&scl, "  Sitewidth : %g\n", r.SiteW)
+		fmt.Fprintf(&scl, "  Sitespacing : %g\n", r.SiteW)
+		fmt.Fprintf(&scl, "  SubrowOrigin : %g NumSites : %d\n", r.X, r.NumSites())
+		fmt.Fprintf(&scl, "End\n")
+	}
+
+	if err := write(base+".nodes", nodes.String()); err != nil {
+		return "", err
+	}
+	if err := write(base+".nets", nets.String()); err != nil {
+		return "", err
+	}
+	if err := write(base+".wts", wts.String()); err != nil {
+		return "", err
+	}
+	if err := write(base+".pl", pl.String()); err != nil {
+		return "", err
+	}
+	if err := write(base+".scl", scl.String()); err != nil {
+		return "", err
+	}
+	aux := fmt.Sprintf("RowBasedPlacement : %s.nodes %s.nets %s.wts %s.pl %s.scl\n",
+		base, base, base, base, base)
+	auxPath := filepath.Join(dir, base+".aux")
+	if err := os.WriteFile(auxPath, []byte(aux), 0o644); err != nil {
+		return "", err
+	}
+	return auxPath, nil
+}
+
+func cellName(d *netlist.Design, i int) string {
+	if d.Cells[i].Name != "" {
+		return d.Cells[i].Name
+	}
+	return fmt.Sprintf("o%d", i)
+}
+
+func weightOr1(w float64) float64 {
+	if w == 0 {
+		return 1
+	}
+	return w
+}

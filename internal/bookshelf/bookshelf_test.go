@@ -1,0 +1,226 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// sampleDesign builds a small design with a macro, offsets and weights.
+func sampleDesign() *netlist.Design {
+	d := &netlist.Design{
+		Name:      "sample",
+		Region:    geom.RectWH(0, 0, 20, 10),
+		RowHeight: 1,
+		SiteWidth: 0.5,
+		Layers:    netlist.DefaultLayers(),
+	}
+	a := d.AddCell(netlist.Cell{Name: "a", W: 2, H: 1, X: 1, Y: 1})
+	b := d.AddCell(netlist.Cell{Name: "b", W: 1, H: 1, X: 5, Y: 2})
+	m := d.AddCell(netlist.Cell{Name: "blk", W: 4, H: 4, X: 10, Y: 4, Fixed: true})
+	n1 := d.AddNet("clk", 2)
+	n2 := d.AddNet("d0", 1)
+	d.Connect(a, n1, 0.5, 0.5)
+	d.Connect(b, n1, 0.5, 0.5)
+	d.Connect(a, n2, 1.5, 0.25)
+	d.Connect(m, n2, 2, 2)
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDesign()
+	auxPath, err := Write(d, dir, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(auxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(d.Cells) {
+		t.Fatalf("cells = %d, want %d", len(got.Cells), len(d.Cells))
+	}
+	for i := range d.Cells {
+		want := &d.Cells[i]
+		c := &got.Cells[i]
+		if c.Name != want.Name || c.W != want.W || c.H != want.H {
+			t.Errorf("cell %d geometry mismatch: %+v vs %+v", i, c, want)
+		}
+		if c.X != want.X || c.Y != want.Y {
+			t.Errorf("cell %d position mismatch: (%v,%v) vs (%v,%v)", i, c.X, c.Y, want.X, want.Y)
+		}
+		if c.Fixed != want.Fixed {
+			t.Errorf("cell %d fixed mismatch", i)
+		}
+	}
+	if len(got.Nets) != 2 || len(got.Pins) != 4 {
+		t.Fatalf("nets/pins = %d/%d, want 2/4", len(got.Nets), len(got.Pins))
+	}
+	if got.Nets[0].Weight != 2 {
+		t.Errorf("net weight = %v, want 2 (from wts)", got.Nets[0].Weight)
+	}
+	for p := range d.Pins {
+		a := d.PinPos(p)
+		b := got.PinPos(p)
+		if math.Abs(a.X-b.X) > 1e-9 || math.Abs(a.Y-b.Y) > 1e-9 {
+			t.Errorf("pin %d position %v vs %v", p, b, a)
+		}
+	}
+	if math.Abs(got.HPWL()-d.HPWL()) > 1e-9 {
+		t.Errorf("HPWL %v vs %v", got.HPWL(), d.HPWL())
+	}
+	if got.RowHeight != 1 || got.SiteWidth != 0.5 {
+		t.Errorf("row/site = %v/%v, want 1/0.5", got.RowHeight, got.SiteWidth)
+	}
+	if got.Region.W() != 20 || math.Abs(got.Region.H()-10) > 1e-9 {
+		t.Errorf("region = %v", got.Region)
+	}
+	if len(got.Rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(got.Rows))
+	}
+}
+
+func TestMacroClassification(t *testing.T) {
+	dir := t.TempDir()
+	d := sampleDesign() // blk is 4 rows tall and fixed
+	auxPath, err := Write(d, dir, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(auxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cells[2].Macro {
+		t.Error("tall fixed terminal not classified as macro")
+	}
+	if got.Cells[0].Macro {
+		t.Error("movable cell classified as macro")
+	}
+}
+
+func TestParseHandcraftedFiles(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"t.aux": "RowBasedPlacement : t.nodes t.nets t.wts t.pl t.scl\n",
+		"t.nodes": `UCLA nodes 1.0
+# comment
+NumNodes : 2
+NumTerminals : 0
+  c1 2 1
+  c2 3 1
+`,
+		"t.nets": `UCLA nets 1.0
+NumNets : 1
+NumPins : 2
+NetDegree : 2 n0
+  c1 O : 0.0 0.0
+  c2 I : -1.5 0.0
+`,
+		"t.pl": `UCLA pl 1.0
+c1 0 0 : N
+c2 10 2 : N
+`,
+		"t.scl": `UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 1
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 20
+End
+CoreRow Horizontal
+  Coordinate : 1
+  Height : 1
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 20
+End
+`,
+		"t.wts": "UCLA wts 1.0\nn0 3\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := Parse(filepath.Join(dir, "t.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 2 || len(d.Nets) != 1 || len(d.Pins) != 2 {
+		t.Fatalf("parsed %d cells, %d nets, %d pins", len(d.Cells), len(d.Nets), len(d.Pins))
+	}
+	// Pin offsets: Bookshelf measures from the node center.
+	// c1 pin at center (1, 0.5); c2 pin at center + (-1.5, 0) = (0, 0.5).
+	if p := d.PinPos(0); p != geom.Pt(1, 0.5) {
+		t.Errorf("pin 0 at %v, want (1, 0.5)", p)
+	}
+	if p := d.PinPos(1); p != geom.Pt(10, 2.5) {
+		t.Errorf("pin 1 at %v, want (10, 2.5)", p)
+	}
+	if d.Nets[0].Weight != 3 {
+		t.Errorf("weight = %v, want 3", d.Nets[0].Weight)
+	}
+	if d.Region.W() != 20 || d.Region.H() != 2 {
+		t.Errorf("region = %v", d.Region)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Parse(filepath.Join(dir, "missing.aux")); err == nil {
+		t.Error("no error for missing aux")
+	}
+
+	// aux without nodes entry
+	aux := filepath.Join(dir, "empty.aux")
+	os.WriteFile(aux, []byte("RowBasedPlacement :\n"), 0o644)
+	if _, err := Parse(aux); err == nil {
+		t.Error("no error for aux without .nodes")
+	}
+
+	// nets referencing unknown node
+	os.WriteFile(filepath.Join(dir, "bad.aux"),
+		[]byte("RowBasedPlacement : bad.nodes bad.nets\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "bad.nodes"),
+		[]byte("UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\nc1 1 1\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "bad.nets"),
+		[]byte("UCLA nets 1.0\nNumNets : 1\nNumPins : 1\nNetDegree : 1 n\n ghost O : 0 0\n"), 0o644)
+	if _, err := Parse(filepath.Join(dir, "bad.aux")); err == nil {
+		t.Error("no error for unknown node in nets")
+	}
+}
+
+func TestWriteUnnamedEntities(t *testing.T) {
+	d := &netlist.Design{
+		Region: geom.RectWH(0, 0, 10, 3), RowHeight: 1, SiteWidth: 0.5,
+		Layers: netlist.DefaultLayers(),
+	}
+	a := d.AddCell(netlist.Cell{W: 1, H: 1})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 4})
+	n := d.AddNet("", 0)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	dir := t.TempDir()
+	auxPath, err := Write(d, dir, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(auxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 2 || len(got.Nets) != 1 {
+		t.Fatalf("round trip of unnamed entities failed: %d cells %d nets", len(got.Cells), len(got.Nets))
+	}
+}

@@ -1,0 +1,52 @@
+package cong
+
+import (
+	"math"
+	"sort"
+)
+
+// ACE computes the Average Congestion of Edges metric used by the
+// ISPD-2011/DAC-2012 routability contests: for each requested fraction
+// x ∈ (0, 1], the mean demand/capacity ratio over the top x fraction of
+// the most congested Gcell-direction pairs. ACE complements the overflow
+// ratio of Table II: it grades how *deep* the worst congestion runs, not
+// just how much demand exceeds capacity in total.
+//
+// Gcells with zero capacity in a direction are graded against a capacity
+// floor of one track, matching the Cg definition of Eq. 11.
+func (m *Map) ACE(fractions []float64) []float64 {
+	ratios := make([]float64, 0, 2*len(m.DmdH))
+	for i := range m.DmdH {
+		ratios = append(ratios,
+			m.DmdH[i]/math.Max(m.CapH[i], 1),
+			m.DmdV[i]/math.Max(m.CapV[i], 1))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ratios)))
+	prefix := make([]float64, len(ratios)+1)
+	for i, r := range ratios {
+		prefix[i+1] = prefix[i] + r
+	}
+
+	out := make([]float64, len(fractions))
+	for fi, f := range fractions {
+		n := int(math.Ceil(f * float64(len(ratios))))
+		if n < 1 {
+			n = 1
+		}
+		if n > len(ratios) {
+			n = len(ratios)
+		}
+		out[fi] = prefix[n] / float64(n)
+	}
+	return out
+}
+
+// StandardACE evaluates the contest's canonical fractions
+// (0.5%, 1%, 2%, 5%) and returns them with the peak ratio prepended.
+func (m *Map) StandardACE() (peak float64, ace []float64) {
+	fr := []float64{0.005, 0.01, 0.02, 0.05}
+	// Fractions must be ascending for the prefix walk.
+	vals := m.ACE(fr)
+	peak = m.ACE([]float64{1e-12})[0] // top-1 element
+	return peak, vals
+}

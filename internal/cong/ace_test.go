@@ -1,0 +1,99 @@
+package cong
+
+import (
+	"math"
+	"testing"
+)
+
+func TestACEKnownValues(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 2, 2) // 4 Gcells → 8 direction pairs
+	for i := range m.CapH {
+		m.CapH[i] = 10
+		m.CapV[i] = 10
+	}
+	// Ratios: H = {2.0, 1.0, 0.5, 0}, V = {0, 0, 0, 0}.
+	m.DmdH[0] = 20
+	m.DmdH[1] = 10
+	m.DmdH[2] = 5
+
+	// Top 1 of 8 → fraction 1/8.
+	got := m.ACE([]float64{0.125, 0.25, 1.0})
+	if math.Abs(got[0]-2.0) > 1e-12 {
+		t.Errorf("ACE(12.5%%) = %v, want 2.0", got[0])
+	}
+	if math.Abs(got[1]-1.5) > 1e-12 { // top 2: (2+1)/2
+		t.Errorf("ACE(25%%) = %v, want 1.5", got[1])
+	}
+	if math.Abs(got[2]-3.5/8) > 1e-12 {
+		t.Errorf("ACE(100%%) = %v, want %v", got[2], 3.5/8)
+	}
+}
+
+func TestACEUnorderedFractions(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 2, 2)
+	for i := range m.CapH {
+		m.CapH[i] = 10
+		m.CapV[i] = 10
+	}
+	m.DmdH[0] = 20
+	a := m.ACE([]float64{1.0, 0.125})
+	b := m.ACE([]float64{0.125, 1.0})
+	if a[0] != b[1] || a[1] != b[0] {
+		t.Errorf("fraction order changed results: %v vs %v", a, b)
+	}
+}
+
+func TestACEMonotoneInFraction(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 8, 8)
+	for i := range m.DmdH {
+		m.DmdH[i] = float64(i % 13)
+		m.DmdV[i] = float64((i * 7) % 11)
+	}
+	fr := []float64{0.01, 0.05, 0.2, 0.5, 1.0}
+	vals := m.ACE(fr)
+	for k := 1; k < len(vals); k++ {
+		if vals[k] > vals[k-1]+1e-12 {
+			t.Fatalf("ACE not non-increasing: %v", vals)
+		}
+	}
+}
+
+func TestStandardACE(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 4, 4)
+	for i := range m.CapH {
+		m.CapH[i] = 10
+		m.CapV[i] = 10
+	}
+	m.DmdH[3] = 30
+	peak, ace := m.StandardACE()
+	if math.Abs(peak-3.0) > 1e-12 {
+		t.Errorf("peak = %v, want 3.0", peak)
+	}
+	if len(ace) != 4 {
+		t.Fatalf("ace = %v, want 4 values", ace)
+	}
+	for k := 1; k < len(ace); k++ {
+		if ace[k] > ace[k-1]+1e-12 {
+			t.Errorf("StandardACE not non-increasing: %v", ace)
+		}
+	}
+}
+
+func TestACEZeroCapacityFloor(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 2, 2)
+	// All capacities zero: ratio graded against floor 1.
+	for i := range m.CapH {
+		m.CapH[i] = 0
+		m.CapV[i] = 0
+	}
+	m.DmdH[0] = 4
+	got := m.ACE([]float64{0.125})
+	if math.Abs(got[0]-4) > 1e-12 {
+		t.Errorf("zero-cap ACE = %v, want 4", got[0])
+	}
+}

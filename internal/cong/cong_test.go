@@ -1,0 +1,365 @@
+package cong
+
+import (
+	"math"
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// testDesign builds a 32x32 region with a 6-layer stack and optional
+// blockages/cells supplied by the caller.
+func testDesign() *netlist.Design {
+	return &netlist.Design{
+		Name:      "t",
+		Region:    geom.RectWH(0, 0, 32, 32),
+		RowHeight: 1,
+		SiteWidth: 0.2,
+		Layers:    netlist.DefaultLayers(),
+	}
+}
+
+func TestCapacityUniformWithoutBlockages(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 8, 8)
+	// 3 horizontal layers with pitches 0.1, 0.1, 0.14; Gcell height 4.
+	wantH := 4/0.1 + 4/0.1 + 4/0.14
+	wantV := 4/0.1 + 4/0.14 + 4/0.2
+	for idx := range m.CapH {
+		if math.Abs(m.CapH[idx]-wantH) > 1e-9 {
+			t.Fatalf("CapH[%d] = %v, want %v", idx, m.CapH[idx], wantH)
+		}
+		if math.Abs(m.CapV[idx]-wantV) > 1e-9 {
+			t.Fatalf("CapV[%d] = %v, want %v", idx, m.CapV[idx], wantV)
+		}
+	}
+}
+
+func TestBlockageReducesCapacity(t *testing.T) {
+	d := testDesign()
+	// Full-Gcell blockage on M1 (horizontal) covering Gcell (0,0).
+	d.Blockages = append(d.Blockages, netlist.Blockage{
+		Rect: geom.RectWH(0, 0, 4, 4), Layer: 0,
+	})
+	m := NewMap(d, 8, 8)
+	free := NewMap(testDesign(), 8, 8)
+	blockedTracks := 4 / d.Layers[0].Pitch() // 40 tracks on M1
+	if got, want := m.CapH[0], free.CapH[0]-blockedTracks; math.Abs(got-want) > 1e-9 {
+		t.Errorf("blocked CapH = %v, want %v", got, want)
+	}
+	if m.CapV[0] != free.CapV[0] {
+		t.Errorf("vertical capacity changed by horizontal-layer blockage")
+	}
+	if m.CapH[1] != free.CapH[1] {
+		t.Errorf("neighbour Gcell capacity changed")
+	}
+}
+
+func TestPartialBlockageProration(t *testing.T) {
+	d := testDesign()
+	// Half-width, half-height blockage in Gcell (0,0) on M1.
+	d.Blockages = append(d.Blockages, netlist.Blockage{
+		Rect: geom.RectWH(0, 0, 2, 2), Layer: 0,
+	})
+	m := NewMap(d, 8, 8)
+	free := NewMap(testDesign(), 8, 8)
+	// Blocks (2/pitch) tracks prorated by 2/4 of the Gcell width.
+	want := free.CapH[0] - (2/d.Layers[0].Pitch())*(2.0/4.0)
+	if math.Abs(m.CapH[0]-want) > 1e-9 {
+		t.Errorf("partial blocked CapH = %v, want %v", m.CapH[0], want)
+	}
+}
+
+func TestCapacityNeverNegative(t *testing.T) {
+	d := testDesign()
+	for l := range d.Layers {
+		d.Blockages = append(d.Blockages,
+			netlist.Blockage{Rect: geom.RectWH(0, 0, 32, 32), Layer: l},
+			netlist.Blockage{Rect: geom.RectWH(0, 0, 32, 32), Layer: l})
+	}
+	m := NewMap(d, 8, 8)
+	for i := range m.CapH {
+		if m.CapH[i] < 0 || m.CapV[i] < 0 {
+			t.Fatalf("negative capacity at %d: %v/%v", i, m.CapH[i], m.CapV[i])
+		}
+	}
+}
+
+func TestMacroReducesSites(t *testing.T) {
+	d := testDesign()
+	d.AddCell(netlist.Cell{Name: "m", W: 4, H: 4, X: 0, Y: 0, Fixed: true, Macro: true})
+	m := NewMap(d, 8, 8)
+	if m.Sites[0] != 0 {
+		t.Errorf("Sites under macro = %v, want 0", m.Sites[0])
+	}
+	if m.Sites[m.Index(4, 4)] <= 0 {
+		t.Error("free Gcell has no sites")
+	}
+}
+
+func TestCgSignedCombination(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 8, 8)
+	idx := 0
+	// Both congested: sum.
+	m.DmdH[idx] = m.CapH[idx] * 1.5
+	m.DmdV[idx] = m.CapV[idx] * 1.25
+	wantH := (m.DmdH[idx] - m.CapH[idx]) / math.Max(m.CapH[idx], 1)
+	wantV := (m.DmdV[idx] - m.CapV[idx]) / math.Max(m.CapV[idx], 1)
+	if got := m.Cg(idx); math.Abs(got-(wantH+wantV)) > 1e-12 {
+		t.Errorf("both-congested Cg = %v, want %v", got, wantH+wantV)
+	}
+	// Opposite signs: max dominates.
+	m.DmdV[idx] = m.CapV[idx] * 0.5
+	wantV = (m.DmdV[idx] - m.CapV[idx]) / math.Max(m.CapV[idx], 1)
+	if got := m.Cg(idx); math.Abs(got-math.Max(wantH, wantV)) > 1e-12 {
+		t.Errorf("mixed-sign Cg = %v, want %v", got, math.Max(wantH, wantV))
+	}
+	// Both negative: sum (preserves slack information, Sec. III-B1).
+	m.DmdH[idx] = m.CapH[idx] * 0.5
+	wantH = (m.DmdH[idx] - m.CapH[idx]) / math.Max(m.CapH[idx], 1)
+	if got := m.Cg(idx); math.Abs(got-(wantH+wantV)) > 1e-12 {
+		t.Errorf("both-slack Cg = %v, want %v", got, wantH+wantV)
+	}
+}
+
+func TestOverflowRatios(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 4, 4)
+	for i := range m.CapH {
+		m.CapH[i] = 10
+		m.CapV[i] = 20
+	}
+	m.DmdH[0] = 15 // overflow 5
+	m.DmdH[1] = 5  // no overflow
+	m.DmdV[2] = 30 // overflow 10
+	hof, vof := m.OverflowRatios()
+	if want := 100 * 5.0 / 160.0; math.Abs(hof-want) > 1e-12 {
+		t.Errorf("HOF = %v, want %v", hof, want)
+	}
+	if want := 100 * 10.0 / 320.0; math.Abs(vof-want) > 1e-12 {
+		t.Errorf("VOF = %v, want %v", vof, want)
+	}
+}
+
+// horizontalPairDesign wires two cells at the same height several Gcells
+// apart, yielding one horizontal I-shaped segment.
+func horizontalPairDesign() *netlist.Design {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{Name: "a", W: 1, H: 1, X: 2, Y: 10})
+	b := d.AddCell(netlist.Cell{Name: "b", W: 1, H: 1, X: 26, Y: 10})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	return d
+}
+
+func TestIShapeDemand(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0}) // no expansion, no penalty
+	m := e.Estimate()
+	// Pins at (2.5,10.5) and (26.5,10.5): Gcells (0,2) .. (6,2).
+	for i := 0; i <= 6; i++ {
+		if got := m.DmdH[m.Index(i, 2)]; got != 1 {
+			t.Errorf("DmdH(%d,2) = %v, want 1", i, got)
+		}
+	}
+	if got := m.DmdH[m.Index(7, 2)]; got != 0 {
+		t.Errorf("DmdH(7,2) = %v, want 0", got)
+	}
+	// No vertical demand anywhere.
+	for idx, v := range m.DmdV {
+		if v != 0 {
+			t.Fatalf("DmdV[%d] = %v, want 0", idx, v)
+		}
+	}
+	if len(e.Segs) != 1 || !e.Segs[0].Horizontal {
+		t.Fatalf("Segs = %+v, want one horizontal segment", e.Segs)
+	}
+	if e.Segs[0].ASteiner || e.Segs[0].BSteiner {
+		t.Error("pin endpoints tagged as Steiner")
+	}
+}
+
+func TestLShapeDemandAveraged(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{Name: "a", W: 1, H: 1, X: 2, Y: 2})
+	b := d.AddCell(netlist.Cell{Name: "b", W: 1, H: 1, X: 14, Y: 10})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0, 0)
+	d.Connect(b, n, 0, 0)
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0})
+	m := e.Estimate()
+	// Pins at (2,2) Gcell (0,0) and (14,10) Gcell (3,2): bbox 4x3.
+	w, h := 4.0, 3.0
+	sumH, sumV := 0.0, 0.0
+	for j := 0; j <= 2; j++ {
+		for i := 0; i <= 3; i++ {
+			idx := m.Index(i, j)
+			if math.Abs(m.DmdH[idx]-1/h) > 1e-12 {
+				t.Errorf("DmdH(%d,%d) = %v, want %v", i, j, m.DmdH[idx], 1/h)
+			}
+			if math.Abs(m.DmdV[idx]-1/w) > 1e-12 {
+				t.Errorf("DmdV(%d,%d) = %v, want %v", i, j, m.DmdV[idx], 1/w)
+			}
+			sumH += m.DmdH[idx]
+			sumV += m.DmdV[idx]
+		}
+	}
+	// Total demand equals the wire the L actually needs: w horizontal and
+	// h vertical Gcells.
+	if math.Abs(sumH-w) > 1e-9 || math.Abs(sumV-h) > 1e-9 {
+		t.Errorf("total demand H=%v V=%v, want %v/%v", sumH, sumV, w, h)
+	}
+}
+
+func TestPinPenalty(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{Name: "a", W: 1, H: 1, X: 2, Y: 2})
+	b := d.AddCell(netlist.Cell{Name: "b", W: 1, H: 1, X: 2.5, Y: 2})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0, 0)
+	d.Connect(b, n, 0, 0)
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0.25})
+	m := e.Estimate()
+	// Both pins in Gcell (0,0); same-Gcell edge adds no I/L demand, so
+	// only the pin penalty remains.
+	idx := m.Index(0, 0)
+	if math.Abs(m.DmdH[idx]-0.5) > 1e-12 || math.Abs(m.DmdV[idx]-0.5) > 1e-12 {
+		t.Errorf("local net demand = %v/%v, want 0.5/0.5", m.DmdH[idx], m.DmdV[idx])
+	}
+	if m.Pins[idx] != 2 {
+		t.Errorf("pin count = %v, want 2", m.Pins[idx])
+	}
+	if m.PinDensity(idx) <= 0 {
+		t.Error("pin density not positive")
+	}
+}
+
+func TestDetourExpansionMovesDemand(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{
+		PinPenalty:    0,
+		ExpandRadius:  2,
+		TransferRatio: 0.5,
+	})
+	// Choke the row so the single segment overflows.
+	m := e.M
+	for i := 0; i < m.W; i++ {
+		m.CapH[m.Index(i, 2)] = 0.2
+	}
+	e.Estimate()
+	// Half the demand must have left row 2.
+	for i := 0; i <= 6; i++ {
+		if got := m.DmdH[m.Index(i, 2)]; math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("post-expansion DmdH(%d,2) = %v, want 0.5", i, got)
+		}
+	}
+	// And appeared in exactly one neighbouring row within the radius.
+	moved := 0.0
+	for j := 0; j < m.H; j++ {
+		if j == 2 {
+			continue
+		}
+		for i := 0; i <= 6; i++ {
+			moved += m.DmdH[m.Index(i, j)]
+		}
+	}
+	if math.Abs(moved-3.5) > 1e-12 { // 7 Gcells × 0.5
+		t.Errorf("moved demand = %v, want 3.5", moved)
+	}
+	// Pin endpoints: no perpendicular demand was added.
+	for idx, v := range m.DmdV {
+		if v != 0 {
+			t.Fatalf("DmdV[%d] = %v, want 0 (pin endpoints move for free)", idx, v)
+		}
+	}
+}
+
+func TestDetourExpansionAddsPerpendicularForSteiner(t *testing.T) {
+	// Three pins forming a T: the RSMT has a Steiner point, so one of the
+	// I-segments has a Steiner endpoint; detouring it must add vertical
+	// connection demand.
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{Name: "a", W: 1, H: 1, X: 2, Y: 10})
+	b := d.AddCell(netlist.Cell{Name: "b", W: 1, H: 1, X: 26, Y: 10})
+	c := d.AddCell(netlist.Cell{Name: "c", W: 1, H: 1, X: 14, Y: 26})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	d.Connect(c, n, 0.5, 0.5)
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0, ExpandRadius: 2, TransferRatio: 0.5})
+	m := e.M
+	for i := 0; i < m.W; i++ {
+		m.CapH[m.Index(i, 2)] = 0.1
+	}
+	e.Estimate()
+	hasSteinerSeg := false
+	for _, s := range e.Segs {
+		if s.ASteiner || s.BSteiner {
+			hasSteinerSeg = true
+		}
+	}
+	if !hasSteinerSeg {
+		t.Fatal("expected a segment with a Steiner endpoint")
+	}
+	sumV := 0.0
+	for _, v := range m.DmdV {
+		sumV += v
+	}
+	// Vertical demand exists: the original trunk-to-branch leg plus the
+	// detour connection legs.
+	if sumV <= 4.0 { // the plain vertical leg alone spans 4 Gcells
+		t.Errorf("total DmdV = %v, want > 4 (extra detour connection)", sumV)
+	}
+}
+
+func TestNoExpansionWhenDisabled(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0, ExpandRadius: 0, TransferRatio: 0.5})
+	m := e.M
+	for i := 0; i < m.W; i++ {
+		m.CapH[m.Index(i, 2)] = 0.2
+	}
+	e.Estimate()
+	for i := 0; i <= 6; i++ {
+		if got := m.DmdH[m.Index(i, 2)]; got != 1 {
+			t.Errorf("DmdH(%d,2) = %v, want 1 (expansion disabled)", i, got)
+		}
+	}
+}
+
+func TestGcellOfClamps(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 8, 8)
+	i, j := m.GcellOf(geom.Pt(-10, 100))
+	if i != 0 || j != 7 {
+		t.Errorf("GcellOf = (%d,%d), want (0,7)", i, j)
+	}
+}
+
+func TestGcellRectAndCenter(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 8, 8)
+	r := m.GcellRect(2, 3)
+	if r.Lo != geom.Pt(8, 12) || r.W() != 4 || r.H() != 4 {
+		t.Errorf("GcellRect = %v", r)
+	}
+	if c := m.GcellCenter(2, 3); c != geom.Pt(10, 14) {
+		t.Errorf("GcellCenter = %v", c)
+	}
+}
+
+func TestEstimateIsRepeatable(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, DefaultParams())
+	e.Estimate()
+	first := append([]float64(nil), e.M.DmdH...)
+	e.Estimate()
+	for i := range first {
+		if e.M.DmdH[i] != first[i] {
+			t.Fatalf("Estimate not idempotent at %d: %v vs %v", i, e.M.DmdH[i], first[i])
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package cong
+
+import (
+	"math"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+	"puffer/internal/rsmt"
+)
+
+// Params are the tunable strategy parameters of the congestion estimator.
+// Several of them are explored by the Bayesian strategy search
+// (Sec. III-C).
+type Params struct {
+	// PinPenalty is the routing demand added per pin in each direction to
+	// capture local nets whose pins share one Gcell (Sec. III-A2).
+	PinPenalty float64
+	// ExpandRadius is how many Gcell rows/columns away the detour
+	// expansion may push demand (Sec. III-A3).
+	ExpandRadius int
+	// TransferRatio is the fraction of a congested I-segment's demand
+	// moved to the surrounding region.
+	TransferRatio float64
+	// CongestThreshold is the per-Gcell overflow above which an I-segment
+	// counts as congested.
+	CongestThreshold float64
+}
+
+// DefaultParams returns the hand-tuned defaults; the strategy exploration
+// scheme replaces them with searched values.
+func DefaultParams() Params {
+	return Params{
+		PinPenalty:       0.3,
+		ExpandRadius:     3,
+		TransferRatio:    0.5,
+		CongestThreshold: 0,
+	}
+}
+
+// Seg is an I-shaped two-point segment of a net topology in Gcell
+// coordinates. Horizontal segments have J0 == J1 and I0 <= I1; vertical
+// segments have I0 == I1 and J0 <= J1. The endpoint Steiner tags drive the
+// detour expansion: only Steiner endpoints need extra perpendicular demand
+// when the segment is detoured, because cells (pin endpoints) can simply
+// move (Sec. III-A3).
+type Seg struct {
+	Horizontal         bool
+	I0, J0, I1, J1     int
+	ASteiner, BSteiner bool
+}
+
+// Estimator produces congestion maps by the routing-detour-imitating
+// estimation algorithm of Sec. III-A.
+type Estimator struct {
+	d *netlist.Design
+	M *Map
+	P Params
+
+	// Segs holds the I-shaped segments found during the last Estimate
+	// call, after which the detour expansion ran over them.
+	Segs []Seg
+
+	// Trees holds the last RSMT topology per net; feature extraction
+	// (GNN-inspired pin congestion) walks the same topology.
+	Trees []rsmt.Tree
+
+	pts []geom.Point // scratch
+}
+
+// NewEstimator creates an estimator over a fresh W×H capacity map for d.
+func NewEstimator(d *netlist.Design, w, h int, p Params) *Estimator {
+	return &Estimator{d: d, M: NewMap(d, w, h), P: p}
+}
+
+// Estimate runs the full pipeline — topology generation, probabilistic
+// demand, pin penalty, detour expansion — and returns the resulting map.
+func (e *Estimator) Estimate() *Map {
+	e.M.ResetDemand()
+	e.Segs = e.Segs[:0]
+	if cap(e.Trees) < len(e.d.Nets) {
+		e.Trees = make([]rsmt.Tree, len(e.d.Nets))
+	}
+	e.Trees = e.Trees[:len(e.d.Nets)]
+
+	// Pin counts and pin penalty demand.
+	for p := range e.d.Pins {
+		i, j := e.M.GcellOf(e.d.PinPos(p))
+		idx := e.M.Index(i, j)
+		e.M.Pins[idx]++
+		e.M.DmdH[idx] += e.P.PinPenalty
+		e.M.DmdV[idx] += e.P.PinPenalty
+	}
+
+	for n := range e.d.Nets {
+		e.estimateNet(n)
+	}
+	e.expand()
+	return e.M
+}
+
+// estimateNet builds the RSMT topology of net n and deposits its demand.
+func (e *Estimator) estimateNet(n int) {
+	net := &e.d.Nets[n]
+	e.Trees[n] = rsmt.Tree{}
+	if len(net.Pins) < 2 {
+		return
+	}
+	e.pts = e.pts[:0]
+	for _, pid := range net.Pins {
+		e.pts = append(e.pts, e.d.PinPos(pid))
+	}
+	tree := rsmt.Build(e.pts)
+	e.Trees[n] = tree
+
+	for _, edge := range tree.Edges {
+		a, b := tree.Nodes[edge.A], tree.Nodes[edge.B]
+		ai, aj := e.M.GcellOf(a.P)
+		bi, bj := e.M.GcellOf(b.P)
+		switch {
+		case ai == bi && aj == bj:
+			// Both endpoints in one Gcell: covered by the pin penalty.
+		case aj == bj: // horizontal I-shape
+			i0, i1 := ai, bi
+			as, bs := a.Steiner, b.Steiner
+			if i0 > i1 {
+				i0, i1 = i1, i0
+				as, bs = bs, as
+			}
+			for i := i0; i <= i1; i++ {
+				e.M.DmdH[e.M.Index(i, aj)]++
+			}
+			e.Segs = append(e.Segs, Seg{Horizontal: true, I0: i0, J0: aj, I1: i1, J1: aj, ASteiner: as, BSteiner: bs})
+		case ai == bi: // vertical I-shape
+			j0, j1 := aj, bj
+			as, bs := a.Steiner, b.Steiner
+			if j0 > j1 {
+				j0, j1 = j1, j0
+				as, bs = bs, as
+			}
+			for j := j0; j <= j1; j++ {
+				e.M.DmdV[e.M.Index(ai, j)]++
+			}
+			e.Segs = append(e.Segs, Seg{Horizontal: false, I0: ai, J0: j0, I1: ai, J1: j1, ASteiner: as, BSteiner: bs})
+		default: // L-shape: average demand over the bounding box
+			i0, i1 := ai, bi
+			if i0 > i1 {
+				i0, i1 = i1, i0
+			}
+			j0, j1 := aj, bj
+			if j0 > j1 {
+				j0, j1 = j1, j0
+			}
+			w := float64(i1 - i0 + 1)
+			h := float64(j1 - j0 + 1)
+			dh := 1 / h // total horizontal wire w spread over w·h Gcells
+			dv := 1 / w
+			for j := j0; j <= j1; j++ {
+				row := j * e.M.W
+				for i := i0; i <= i1; i++ {
+					e.M.DmdH[row+i] += dh
+					e.M.DmdV[row+i] += dv
+				}
+			}
+		}
+	}
+}
+
+// expand performs the detour-imitating demand expansion (Sec. III-A3):
+// congested I-shaped segments transfer part of their demand to a nearby
+// parallel row/column with routing slack; Steiner endpoints additionally
+// pay perpendicular connection demand, pin endpoints do not (the cell can
+// move instead — that is the "clustered cell spreading" the estimator
+// imitates).
+func (e *Estimator) expand() {
+	if e.P.ExpandRadius <= 0 || e.P.TransferRatio <= 0 {
+		return
+	}
+	for _, s := range e.Segs {
+		if s.Horizontal {
+			e.expandH(s)
+		} else {
+			e.expandV(s)
+		}
+	}
+}
+
+func (e *Estimator) expandH(s Seg) {
+	m := e.M
+	j := s.J0
+	// Congested if any Gcell on the span overflows.
+	congested := false
+	for i := s.I0; i <= s.I1; i++ {
+		if m.OverflowH(m.Index(i, j)) > e.P.CongestThreshold {
+			congested = true
+			break
+		}
+	}
+	if !congested {
+		return
+	}
+	// Best alternative row: maximum total slack over the span.
+	bestJ, bestSlack := -1, 0.0
+	for dj := -e.P.ExpandRadius; dj <= e.P.ExpandRadius; dj++ {
+		jj := j + dj
+		if dj == 0 || jj < 0 || jj >= m.H {
+			continue
+		}
+		slack := 0.0
+		for i := s.I0; i <= s.I1; i++ {
+			idx := m.Index(i, jj)
+			slack += math.Max(0, m.CapH[idx]-m.DmdH[idx])
+		}
+		if slack > bestSlack {
+			bestSlack = slack
+			bestJ = jj
+		}
+	}
+	if bestJ < 0 {
+		return
+	}
+	delta := e.P.TransferRatio
+	for i := s.I0; i <= s.I1; i++ {
+		m.DmdH[m.Index(i, j)] -= delta
+		m.DmdH[m.Index(i, bestJ)] += delta
+	}
+	// Perpendicular connection demand at Steiner endpoints only.
+	lo, hi := j, bestJ
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if s.ASteiner {
+		for jj := lo; jj <= hi; jj++ {
+			m.DmdV[m.Index(s.I0, jj)] += delta
+		}
+	}
+	if s.BSteiner {
+		for jj := lo; jj <= hi; jj++ {
+			m.DmdV[m.Index(s.I1, jj)] += delta
+		}
+	}
+}
+
+func (e *Estimator) expandV(s Seg) {
+	m := e.M
+	i := s.I0
+	congested := false
+	for j := s.J0; j <= s.J1; j++ {
+		if m.OverflowV(m.Index(i, j)) > e.P.CongestThreshold {
+			congested = true
+			break
+		}
+	}
+	if !congested {
+		return
+	}
+	bestI, bestSlack := -1, 0.0
+	for di := -e.P.ExpandRadius; di <= e.P.ExpandRadius; di++ {
+		ii := i + di
+		if di == 0 || ii < 0 || ii >= m.W {
+			continue
+		}
+		slack := 0.0
+		for j := s.J0; j <= s.J1; j++ {
+			idx := m.Index(ii, j)
+			slack += math.Max(0, m.CapV[idx]-m.DmdV[idx])
+		}
+		if slack > bestSlack {
+			bestSlack = slack
+			bestI = ii
+		}
+	}
+	if bestI < 0 {
+		return
+	}
+	delta := e.P.TransferRatio
+	for j := s.J0; j <= s.J1; j++ {
+		m.DmdV[m.Index(i, j)] -= delta
+		m.DmdV[m.Index(bestI, j)] += delta
+	}
+	lo, hi := i, bestI
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if s.ASteiner {
+		for ii := lo; ii <= hi; ii++ {
+			m.DmdH[m.Index(ii, s.J0)] += delta
+		}
+	}
+	if s.BSteiner {
+		for ii := lo; ii <= hi; ii++ {
+			m.DmdH[m.Index(ii, s.J1)] += delta
+		}
+	}
+}

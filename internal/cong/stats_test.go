@@ -1,0 +1,98 @@
+package cong
+
+import (
+	"math"
+	"testing"
+
+	"puffer/internal/netlist"
+)
+
+func TestMapStats(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 4, 4)
+	for i := range m.CapH {
+		m.CapH[i] = 10
+		m.CapV[i] = 10
+	}
+	m.DmdH[0] = 14 // overflow 4
+	m.DmdH[1] = 12 // overflow 2
+	m.DmdV[5] = 11 // overflow 1
+	s := m.Stats()
+	if s.HotH != 2 || s.HotV != 1 {
+		t.Errorf("hot counts = %d/%d, want 2/1", s.HotH, s.HotV)
+	}
+	if s.WorstH != 4 || s.WorstV != 1 {
+		t.Errorf("worst = %v/%v, want 4/1", s.WorstH, s.WorstV)
+	}
+	if want := (14.0 - 10) / 10; math.Abs(s.MaxCgH-want) > 1e-12 {
+		t.Errorf("MaxCgH = %v, want %v", s.MaxCgH, want)
+	}
+	if want := 26.0 / 160.0; math.Abs(s.AvgUtilH-want) > 1e-12 {
+		t.Errorf("AvgUtilH = %v, want %v", s.AvgUtilH, want)
+	}
+	if s.TotalDmdH != 26 || s.TotalDmdV != 11 {
+		t.Errorf("totals = %v/%v", s.TotalDmdH, s.TotalDmdV)
+	}
+}
+
+func TestMapStatsEmpty(t *testing.T) {
+	d := testDesign()
+	m := NewMap(d, 4, 4)
+	s := m.Stats()
+	if s.HotH != 0 || s.HotV != 0 || s.WorstH != 0 || s.WorstV != 0 {
+		t.Errorf("empty map stats: %+v", s)
+	}
+	if s.MaxCgH > 0 || s.MaxCgV > 0 {
+		t.Errorf("empty map max congestion positive: %+v", s)
+	}
+}
+
+// TestExpansionAtGridEdges: congested I-segments on the boundary rows and
+// columns must not index outside the grid or leave negative demand.
+func TestExpansionAtGridEdges(t *testing.T) {
+	d := testDesign()
+	// Net hugging the bottom edge.
+	a := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 1, Y: 0.2})
+	b := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 29, Y: 0.2})
+	n := d.AddNet("edge", 1)
+	d.Connect(a, n, 0.4, 0.4)
+	d.Connect(b, n, 0.4, 0.4)
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0, ExpandRadius: 5, TransferRatio: 0.5})
+	for i := 0; i < e.M.W; i++ {
+		e.M.CapH[e.M.Index(i, 0)] = 0.01
+	}
+	e.Estimate() // must not panic
+	total := 0.0
+	for _, v := range e.M.DmdH {
+		if v < -1e-9 {
+			t.Fatalf("negative demand %v", v)
+		}
+		total += v
+	}
+	if total <= 0 {
+		t.Error("no demand deposited")
+	}
+}
+
+// TestExpansionCornerVertical exercises a vertical segment on the left
+// edge with a Steiner endpoint.
+func TestExpansionCornerVertical(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 0.2, Y: 1})
+	b := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 0.2, Y: 29})
+	c := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 15, Y: 15})
+	n := d.AddNet("corner", 1)
+	d.Connect(a, n, 0.4, 0.4)
+	d.Connect(b, n, 0.4, 0.4)
+	d.Connect(c, n, 0.4, 0.4)
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0, ExpandRadius: 7, TransferRatio: 0.9})
+	for j := 0; j < e.M.H; j++ {
+		e.M.CapV[e.M.Index(0, j)] = 0.01
+	}
+	e.Estimate()
+	for idx, v := range e.M.DmdV {
+		if v < -1e-9 {
+			t.Fatalf("negative vertical demand at %d: %v", idx, v)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package density implements the electrostatic density model of the
+// placement engine (paper Sec. II-B, Eqs. 3–6).
+//
+// The placement region is divided into an M×N bin grid. Every cell deposits
+// its (padded) area as electric charge into the bins it overlaps (Eq. 6).
+// The electric potential ψ and field E = -∇ψ are obtained by solving
+// Poisson's equation ∇²ψ = -ρ spectrally in a half-sample cosine basis
+// (Neumann boundary: no force pushes cells across the chip edge). The
+// density penalty D(x, y) of Eq. 3 is the total potential energy Σ qᵢψ, and
+// its gradient with respect to a cell position is -qᵢ·E at the cell.
+package density
+
+import (
+	"fmt"
+	"math"
+
+	"puffer/internal/fft"
+	"puffer/internal/geom"
+)
+
+// Grid is the electrostatic bin grid. Bins are indexed [j*M+i] with i the
+// x (column) index and j the y (row) index.
+type Grid struct {
+	M, N   int // bin counts in x and y (powers of two)
+	Region geom.Rect
+	BinW   float64
+	BinH   float64
+
+	Rho []float64 // charge density: deposited area / bin area
+	Psi []float64 // electric potential
+	Ex  []float64 // field x-component (-∂ψ/∂x)
+	Ey  []float64 // field y-component (-∂ψ/∂y)
+
+	sx, sy *fft.Spectral
+
+	// scratch buffers reused across Solve calls
+	coef           []float64
+	bufPsi, bufEx  []float64
+	bufEy          []float64
+	rowIn, rowOut  []float64
+	colIn, colOut  []float64
+	invFreqSq      []float64 // 1/(ku²+kv²) table, flat [v*M+u]
+	fixedRho       []float64 // baseline charge from fixed cells
+	hasFixed       bool
+	totalFixedArea float64
+}
+
+// NewGrid creates an M×N grid over region. M and N must be powers of two.
+func NewGrid(region geom.Rect, m, n int) *Grid {
+	if m <= 0 || m&(m-1) != 0 || n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("density: grid %dx%d must be powers of two", m, n))
+	}
+	g := &Grid{
+		M: m, N: n, Region: region,
+		BinW: region.W() / float64(m),
+		BinH: region.H() / float64(n),
+		sx:   fft.NewSpectral(m),
+		sy:   fft.NewSpectral(n),
+	}
+	size := m * n
+	g.Rho = make([]float64, size)
+	g.Psi = make([]float64, size)
+	g.Ex = make([]float64, size)
+	g.Ey = make([]float64, size)
+	g.coef = make([]float64, size)
+	g.bufPsi = make([]float64, size)
+	g.bufEx = make([]float64, size)
+	g.bufEy = make([]float64, size)
+	g.fixedRho = make([]float64, size)
+	maxDim := m
+	if n > maxDim {
+		maxDim = n
+	}
+	g.rowIn = make([]float64, maxDim)
+	g.rowOut = make([]float64, maxDim)
+	g.colIn = make([]float64, maxDim)
+	g.colOut = make([]float64, maxDim)
+
+	g.invFreqSq = make([]float64, size)
+	for v := 0; v < n; v++ {
+		kv := g.sy.Freq(v) / g.BinH
+		for u := 0; u < m; u++ {
+			ku := g.sx.Freq(u) / g.BinW
+			k2 := ku*ku + kv*kv
+			if k2 > 0 {
+				g.invFreqSq[v*m+u] = 1 / k2
+			}
+		}
+	}
+	return g
+}
+
+// Index returns the flat bin index of column i, row j.
+func (g *Grid) Index(i, j int) int { return j*g.M + i }
+
+// BinRect returns the geometric extent of bin (i, j).
+func (g *Grid) BinRect(i, j int) geom.Rect {
+	return geom.RectWH(
+		g.Region.Lo.X+float64(i)*g.BinW,
+		g.Region.Lo.Y+float64(j)*g.BinH,
+		g.BinW, g.BinH)
+}
+
+// BinOf returns the bin coordinates containing point p, clamped to the grid.
+func (g *Grid) BinOf(p geom.Point) (int, int) {
+	i := int((p.X - g.Region.Lo.X) / g.BinW)
+	j := int((p.Y - g.Region.Lo.Y) / g.BinH)
+	return geom.ClampInt(i, 0, g.M-1), geom.ClampInt(j, 0, g.N-1)
+}
+
+// Reset clears movable charge, keeping the fixed baseline.
+func (g *Grid) Reset() {
+	copy(g.Rho, g.fixedRho)
+}
+
+// binRange returns the clamped half-open bin index ranges covered by r.
+func (g *Grid) binRange(r geom.Rect) (i0, i1, j0, j1 int) {
+	i0 = geom.ClampInt(int((r.Lo.X-g.Region.Lo.X)/g.BinW), 0, g.M-1)
+	i1 = geom.ClampInt(int(math.Ceil((r.Hi.X-g.Region.Lo.X)/g.BinW)), i0+1, g.M)
+	j0 = geom.ClampInt(int((r.Lo.Y-g.Region.Lo.Y)/g.BinH), 0, g.N-1)
+	j1 = geom.ClampInt(int(math.Ceil((r.Hi.Y-g.Region.Lo.Y)/g.BinH)), j0+1, g.N)
+	return
+}
+
+// AddRect deposits scale × overlap(rect, bin) area into each bin the
+// rectangle overlaps, as charge density (area / bin area).
+func (g *Grid) AddRect(r geom.Rect, scale float64) {
+	g.addRectTo(g.Rho, r, scale)
+}
+
+// AddFixedRect deposits the rectangle into the fixed baseline so it
+// survives Reset. Call once per fixed cell during setup.
+func (g *Grid) AddFixedRect(r geom.Rect, scale float64) {
+	g.addRectTo(g.fixedRho, r, scale)
+	g.hasFixed = true
+	g.totalFixedArea += r.Intersect(g.Region).Area() * scale
+}
+
+func (g *Grid) addRectTo(dst []float64, r geom.Rect, scale float64) {
+	r = r.Intersect(g.Region)
+	if r.Empty() {
+		return
+	}
+	i0, i1, j0, j1 := g.binRange(r)
+	invArea := scale / (g.BinW * g.BinH)
+	for j := j0; j < j1; j++ {
+		y0 := g.Region.Lo.Y + float64(j)*g.BinH
+		oy := geom.Interval{Lo: y0, Hi: y0 + g.BinH}.Overlap(geom.Interval{Lo: r.Lo.Y, Hi: r.Hi.Y})
+		if oy <= 0 {
+			continue
+		}
+		row := dst[j*g.M:]
+		for i := i0; i < i1; i++ {
+			x0 := g.Region.Lo.X + float64(i)*g.BinW
+			ox := geom.Interval{Lo: x0, Hi: x0 + g.BinW}.Overlap(geom.Interval{Lo: r.Lo.X, Hi: r.Hi.X})
+			if ox > 0 {
+				row[i] += ox * oy * invArea
+			}
+		}
+	}
+}
+
+// Solve computes the potential and field from the current charge. The DC
+// component of the charge is removed first (the u=v=0 mode has no force and
+// corresponds to the neutralizing background of the electrostatic analogy).
+func (g *Grid) Solve() {
+	m, n := g.M, g.N
+
+	// Forward analysis: cosine coefficients along x for each row, then
+	// along y for each column, normalized so that EvalCos reconstructs.
+	for j := 0; j < n; j++ {
+		copy(g.rowIn[:m], g.Rho[j*m:(j+1)*m])
+		g.sx.CosCoeffs(g.rowIn[:m], g.rowOut[:m])
+		copy(g.coef[j*m:(j+1)*m], g.rowOut[:m])
+	}
+	for u := 0; u < m; u++ {
+		for j := 0; j < n; j++ {
+			g.colIn[j] = g.coef[j*m+u]
+		}
+		g.sy.CosCoeffs(g.colIn[:n], g.colOut[:n])
+		for v := 0; v < n; v++ {
+			g.coef[v*m+u] = g.colOut[v]
+		}
+	}
+	norm := 4 / (float64(m) * float64(n))
+	for v := 0; v < n; v++ {
+		for u := 0; u < m; u++ {
+			c := g.coef[v*m+u] * norm
+			if u == 0 {
+				c /= 2
+			}
+			if v == 0 {
+				c /= 2
+			}
+			g.coef[v*m+u] = c
+		}
+	}
+
+	// Frequency-domain solve: ψ̂ = ρ̂/k², Êx = ρ̂·ku/k², Êy = ρ̂·kv/k².
+	for v := 0; v < n; v++ {
+		kv := g.sy.Freq(v) / g.BinH
+		for u := 0; u < m; u++ {
+			ku := g.sx.Freq(u) / g.BinW
+			idx := v*m + u
+			a := g.coef[idx] * g.invFreqSq[idx]
+			g.bufPsi[idx] = a
+			g.bufEx[idx] = a * ku
+			g.bufEy[idx] = a * kv
+		}
+	}
+
+	// Synthesis. ψ uses cos·cos; Ex = -∂ψ/∂x uses sin in x (the derivative
+	// of cos(ku·x) is -ku·sin(ku·x), and E = -∇ψ cancels the sign);
+	// Ey symmetric.
+	g.synthesize(g.bufPsi, g.Psi, false, false)
+	g.synthesize(g.bufEx, g.Ex, true, false)
+	g.synthesize(g.bufEy, g.Ey, false, true)
+}
+
+// synthesize evaluates the 2-D series with sine evaluation in x and/or y.
+func (g *Grid) synthesize(coef, out []float64, sinX, sinY bool) {
+	m, n := g.M, g.N
+	// Evaluate along y (columns) first.
+	for u := 0; u < m; u++ {
+		for v := 0; v < n; v++ {
+			g.colIn[v] = coef[v*m+u]
+		}
+		if sinY {
+			g.sy.EvalSin(g.colIn[:n], g.colOut[:n])
+		} else {
+			g.sy.EvalCos(g.colIn[:n], g.colOut[:n])
+		}
+		for j := 0; j < n; j++ {
+			out[j*m+u] = g.colOut[j]
+		}
+	}
+	// Then along x (rows), in place row by row.
+	for j := 0; j < n; j++ {
+		copy(g.rowIn[:m], out[j*m:(j+1)*m])
+		if sinX {
+			g.sx.EvalSin(g.rowIn[:m], g.rowOut[:m])
+		} else {
+			g.sx.EvalCos(g.rowIn[:m], g.rowOut[:m])
+		}
+		copy(out[j*m:(j+1)*m], g.rowOut[:m])
+	}
+}
+
+// Energy returns the total potential energy Σ ρ·ψ·binArea (Eq. 3 up to the
+// constant factor absorbed by λ).
+func (g *Grid) Energy() float64 {
+	e := 0.0
+	binArea := g.BinW * g.BinH
+	for i, r := range g.Rho {
+		e += r * g.Psi[i]
+	}
+	return e * binArea
+}
+
+// ForceOnRect returns the overlap-weighted electric force on a rectangle of
+// charge (the negative gradient of the energy with respect to the
+// rectangle's position). The returned vector is Σ overlapArea·E over the
+// bins the rectangle covers.
+func (g *Grid) ForceOnRect(r geom.Rect) (fx, fy float64) {
+	rc := r.Intersect(g.Region)
+	if rc.Empty() {
+		// Pull cells that escaped the region back toward it.
+		c := g.Region.ClampPoint(r.Center())
+		i, j := g.BinOf(c)
+		idx := g.Index(i, j)
+		return g.Ex[idx] * r.Area(), g.Ey[idx] * r.Area()
+	}
+	i0, i1, j0, j1 := g.binRange(rc)
+	for j := j0; j < j1; j++ {
+		y0 := g.Region.Lo.Y + float64(j)*g.BinH
+		oy := geom.Interval{Lo: y0, Hi: y0 + g.BinH}.Overlap(geom.Interval{Lo: rc.Lo.Y, Hi: rc.Hi.Y})
+		if oy <= 0 {
+			continue
+		}
+		for i := i0; i < i1; i++ {
+			x0 := g.Region.Lo.X + float64(i)*g.BinW
+			ox := geom.Interval{Lo: x0, Hi: x0 + g.BinW}.Overlap(geom.Interval{Lo: rc.Lo.X, Hi: rc.Hi.X})
+			if ox <= 0 {
+				continue
+			}
+			idx := j*g.M + i
+			a := ox * oy
+			fx += a * g.Ex[idx]
+			fy += a * g.Ey[idx]
+		}
+	}
+	return fx, fy
+}
+
+// Overflow returns the density overflow ratio: the summed movable charge
+// area exceeding target density in each bin, divided by the total movable
+// area. This is the τ trigger metric of Sec. III-B3 in normalized form.
+func (g *Grid) Overflow(target, totalMovableArea float64) float64 {
+	if totalMovableArea <= 0 {
+		return 0
+	}
+	binArea := g.BinW * g.BinH
+	over := 0.0
+	for i, r := range g.Rho {
+		free := target - g.fixedRho[i]
+		if free < 0 {
+			free = 0
+		}
+		movable := r - g.fixedRho[i]
+		if movable > free {
+			over += (movable - free) * binArea
+		}
+	}
+	return over / totalMovableArea
+}

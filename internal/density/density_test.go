@@ -1,0 +1,245 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"puffer/internal/geom"
+)
+
+func TestAddRectConservesArea(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 32, 32), 16, 16)
+	r := geom.RectWH(3.3, 5.7, 7.9, 2.45)
+	g.AddRect(r, 1)
+	binArea := g.BinW * g.BinH
+	sum := 0.0
+	for _, v := range g.Rho {
+		sum += v * binArea
+	}
+	if math.Abs(sum-r.Area()) > 1e-9 {
+		t.Errorf("deposited area = %v, want %v", sum, r.Area())
+	}
+}
+
+func TestAddRectClipsToRegion(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 16, 16), 8, 8)
+	g.AddRect(geom.RectWH(-4, -4, 8, 8), 1) // half in, half out per axis
+	binArea := g.BinW * g.BinH
+	sum := 0.0
+	for _, v := range g.Rho {
+		sum += v * binArea
+	}
+	if math.Abs(sum-16) > 1e-9 { // 4x4 quadrant inside
+		t.Errorf("clipped deposit = %v, want 16", sum)
+	}
+	// Entirely outside contributes nothing.
+	g.AddRect(geom.RectWH(100, 100, 5, 5), 1)
+	sum2 := 0.0
+	for _, v := range g.Rho {
+		sum2 += v * binArea
+	}
+	if math.Abs(sum2-sum) > 1e-12 {
+		t.Error("outside rect deposited charge")
+	}
+}
+
+func TestResetKeepsFixedBaseline(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 16, 16), 8, 8)
+	g.AddFixedRect(geom.RectWH(0, 0, 4, 4), 1)
+	g.AddRect(geom.RectWH(8, 8, 4, 4), 1)
+	g.Reset()
+	i, j := g.BinOf(geom.Pt(1, 1))
+	if g.Rho[g.Index(i, j)] == 0 {
+		t.Error("fixed charge lost after Reset")
+	}
+	i, j = g.BinOf(geom.Pt(9, 9))
+	if g.Rho[g.Index(i, j)] != 0 {
+		t.Error("movable charge survived Reset")
+	}
+}
+
+// A concentrated charge blob must push a nearby test rectangle away from
+// the blob: positive x-force to the blob's right, negative to its left.
+func TestFieldPushesAwayFromCharge(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 64, 64), 64, 64)
+	g.AddRect(geom.RectWH(28, 28, 8, 8), 4) // dense blob at center
+	g.Solve()
+
+	fxR, _ := g.ForceOnRect(geom.RectWH(44, 30, 2, 2))
+	if fxR <= 0 {
+		t.Errorf("force right of blob fx = %v, want > 0", fxR)
+	}
+	fxL, _ := g.ForceOnRect(geom.RectWH(18, 30, 2, 2))
+	if fxL >= 0 {
+		t.Errorf("force left of blob fx = %v, want < 0", fxL)
+	}
+	_, fyU := g.ForceOnRect(geom.RectWH(30, 44, 2, 2))
+	if fyU <= 0 {
+		t.Errorf("force above blob fy = %v, want > 0", fyU)
+	}
+	_, fyD := g.ForceOnRect(geom.RectWH(30, 18, 2, 2))
+	if fyD >= 0 {
+		t.Errorf("force below blob fy = %v, want < 0", fyD)
+	}
+}
+
+// Symmetric charge: field at the symmetry center vanishes, and mirrored
+// probes feel mirrored forces.
+func TestFieldSymmetry(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 32, 32), 32, 32)
+	g.AddRect(geom.RectWH(14, 14, 4, 4), 1)
+	g.Solve()
+	fx, fy := g.ForceOnRect(geom.RectWH(15, 15, 2, 2))
+	if math.Abs(fx) > 1e-6 || math.Abs(fy) > 1e-6 {
+		t.Errorf("center force = (%v, %v), want ~0", fx, fy)
+	}
+	fxR, _ := g.ForceOnRect(geom.RectWH(20, 15, 2, 2))
+	fxL, _ := g.ForceOnRect(geom.RectWH(10, 15, 2, 2))
+	if math.Abs(fxR+fxL) > 1e-6*math.Abs(fxR) {
+		t.Errorf("mirror forces not antisymmetric: %v vs %v", fxR, fxL)
+	}
+}
+
+// Poisson residual: for a smooth charge the discrete Laplacian of ψ must
+// reproduce -ρ' (ρ minus its mean, since the DC mode is neutralized).
+func TestPoissonResidual(t *testing.T) {
+	m := 64
+	g := NewGrid(geom.RectWH(0, 0, float64(m), float64(m)), m, m)
+	// Smooth Gaussian blob.
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			dx := float64(i) - 31.5
+			dy := float64(j) - 31.5
+			g.Rho[g.Index(i, j)] = math.Exp(-(dx*dx + dy*dy) / (2 * 64))
+		}
+	}
+	mean := 0.0
+	for _, v := range g.Rho {
+		mean += v
+	}
+	mean /= float64(m * m)
+	g.Solve()
+
+	h2 := g.BinW * g.BinH
+	maxErr, maxRho := 0.0, 0.0
+	for j := 8; j < m-8; j++ {
+		for i := 8; i < m-8; i++ {
+			lap := (g.Psi[g.Index(i+1, j)] + g.Psi[g.Index(i-1, j)] +
+				g.Psi[g.Index(i, j+1)] + g.Psi[g.Index(i, j-1)] -
+				4*g.Psi[g.Index(i, j)]) / h2
+			want := -(g.Rho[g.Index(i, j)] - mean)
+			if e := math.Abs(lap - want); e > maxErr {
+				maxErr = e
+			}
+			if v := math.Abs(want); v > maxRho {
+				maxRho = v
+			}
+		}
+	}
+	if maxErr > 0.02*maxRho {
+		t.Errorf("Poisson residual %v exceeds 2%% of max charge %v", maxErr, maxRho)
+	}
+}
+
+// Energy of concentrated charge must exceed energy of the same charge
+// spread uniformly — this is exactly why minimizing Eq. 3 spreads cells.
+func TestEnergyFavorsSpreading(t *testing.T) {
+	region := geom.RectWH(0, 0, 32, 32)
+	conc := NewGrid(region, 32, 32)
+	conc.AddRect(geom.RectWH(12, 12, 8, 8), 1)
+	conc.Solve()
+
+	spread := NewGrid(region, 32, 32)
+	spread.AddRect(geom.RectWH(0, 0, 32, 32), 64.0/1024.0)
+	spread.Solve()
+
+	if conc.Energy() <= spread.Energy() {
+		t.Errorf("energy concentrated %v <= spread %v", conc.Energy(), spread.Energy())
+	}
+	if spread.Energy() > 1e-9 {
+		t.Errorf("uniform charge energy = %v, want ~0", spread.Energy())
+	}
+}
+
+func TestOverflowMetric(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 16, 16), 16, 16)
+	// 16 area units concentrated in a 4x4 block: density 1 in those bins.
+	g.AddRect(geom.RectWH(0, 0, 4, 4), 1)
+	ovf := g.Overflow(0.5, 16)
+	// Each of the 16 bins holds 1.0 against a target of 0.5 → overflow
+	// 0.5 per bin × 16 bins × binArea 1 = 8, normalized by area 16 → 0.5.
+	if math.Abs(ovf-0.5) > 1e-9 {
+		t.Errorf("Overflow = %v, want 0.5", ovf)
+	}
+	// Spread uniformly: density 16/256 per bin, below target → 0.
+	g2 := NewGrid(geom.RectWH(0, 0, 16, 16), 16, 16)
+	g2.AddRect(geom.RectWH(0, 0, 16, 16), 16.0/256.0)
+	if ovf := g2.Overflow(0.5, 16); ovf != 0 {
+		t.Errorf("uniform Overflow = %v, want 0", ovf)
+	}
+	if got := g2.Overflow(0.5, 0); got != 0 {
+		t.Errorf("zero-area Overflow = %v, want 0", got)
+	}
+}
+
+func TestOverflowAccountsForFixed(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 16, 16), 16, 16)
+	g.AddFixedRect(geom.RectWH(0, 0, 4, 4), 1) // bins fully blocked
+	g.Reset()
+	g.AddRect(geom.RectWH(0, 0, 4, 4), 0.25) // movable on top of macro
+	// Free capacity under the macro is zero, so all 4 units overflow.
+	ovf := g.Overflow(1.0, 4)
+	if math.Abs(ovf-1.0) > 1e-9 {
+		t.Errorf("Overflow over macro = %v, want 1", ovf)
+	}
+}
+
+func TestForceOnEscapedRectPullsBack(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 32, 32), 32, 32)
+	g.AddRect(geom.RectWH(24, 12, 8, 8), 2) // charge near right edge
+	g.Solve()
+	// A rect fully outside to the right should feel the field of the bin
+	// nearest its clamped center — pointing left, away from the charge.
+	fx, _ := g.ForceOnRect(geom.RectWH(40, 14, 2, 2))
+	if fx >= 0 {
+		t.Errorf("escaped rect fx = %v, want < 0 (pull back/left)", fx)
+	}
+}
+
+func TestBinOfClamps(t *testing.T) {
+	g := NewGrid(geom.RectWH(0, 0, 16, 16), 8, 8)
+	i, j := g.BinOf(geom.Pt(-5, 100))
+	if i != 0 || j != 7 {
+		t.Errorf("BinOf clamped = (%d,%d), want (0,7)", i, j)
+	}
+	i, j = g.BinOf(geom.Pt(3, 3))
+	if i != 1 || j != 1 {
+		t.Errorf("BinOf = (%d,%d), want (1,1)", i, j)
+	}
+}
+
+func TestBinRect(t *testing.T) {
+	g := NewGrid(geom.RectWH(10, 20, 16, 32), 8, 8)
+	r := g.BinRect(1, 2)
+	if r.Lo != geom.Pt(12, 28) || r.W() != 2 || r.H() != 4 {
+		t.Errorf("BinRect = %v", r)
+	}
+}
+
+func TestNewGridRejectsBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid accepted non-power-of-two size")
+		}
+	}()
+	NewGrid(geom.RectWH(0, 0, 1, 1), 7, 8)
+}
+
+func BenchmarkSolve128(b *testing.B) {
+	g := NewGrid(geom.RectWH(0, 0, 128, 128), 128, 128)
+	g.AddRect(geom.RectWH(30, 30, 40, 40), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Solve()
+	}
+}

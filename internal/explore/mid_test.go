@@ -1,0 +1,53 @@
+package explore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMidPerKind(t *testing.T) {
+	cases := []struct {
+		p    Param
+		r    Range
+		want float64
+	}{
+		{Param{Kind: Uniform}, Range{0, 10}, 5},
+		{Param{Kind: IntUniform}, Range{2, 9}, 6}, // round(5.5) away from zero
+		{Param{Kind: Categorical, Choices: []string{"a", "b", "c"}}, Range{0, 2}, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Mid(c.r); got != c.want {
+			t.Errorf("Mid(%v, %v) = %v, want %v", c.p.Kind, c.r, got, c.want)
+		}
+	}
+	// Log-uniform midpoint is the geometric mean.
+	p := Param{Kind: LogUniform}
+	if got := p.Mid(Range{0.01, 100}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("log Mid = %v, want 1", got)
+	}
+}
+
+func TestSuggestFirstObservationsAreRandom(t *testing.T) {
+	// Before Startup observations, Suggest must sample uniformly and not
+	// crash on empty history.
+	tpe := DefaultTPE()
+	params := []Param{{Name: "a", Kind: Uniform, Lo: 0, Hi: 1}}
+	ranges := map[string]Range{"a": {0, 1}}
+	rngs := rand.New(rand.NewSource(1))
+	for k := 0; k < tpe.Startup; k++ {
+		x := tpe.Suggest(rngs, params, ranges, nil)
+		if x["a"] < 0 || x["a"] > 1 {
+			t.Fatalf("startup sample out of range: %v", x["a"])
+		}
+	}
+}
+
+func TestUpdateRangesEmptyObservations(t *testing.T) {
+	params := []Param{{Name: "a", Kind: Uniform, Lo: 0, Hi: 1}}
+	ranges := map[string]Range{"a": {0, 1}}
+	out := updateRanges(params, ranges, nil, 0.25)
+	if out["a"] != ranges["a"] {
+		t.Errorf("empty-observation update changed range: %v", out["a"])
+	}
+}

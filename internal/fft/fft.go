@@ -1,0 +1,199 @@
+// Package fft implements the spectral transforms behind the electrostatic
+// density model of the placement engine (paper Eqs. 4–6).
+//
+// The density grid is expanded in a half-sample cosine basis
+//
+//	ρ[m] ≈ Σ_u a[u]·cos(k_u·(m+1/2)),  k_u = πu/M,
+//
+// which corresponds to Neumann (zero-flux) boundary conditions at the chip
+// edges: charge does not push across the placement boundary. The package
+// provides the three one-dimensional primitives the 2-D Poisson solver
+// needs — the forward cosine analysis (a DCT-II), cosine evaluation for the
+// potential, and sine evaluation for the electric field — all computed via
+// a radix-2 complex FFT on the 2M mirror extension, O(M log M).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds precomputed twiddle factors and the bit-reversal permutation
+// for complex FFTs of a fixed power-of-two size. A Plan is cheap to reuse
+// and safe for sequential reuse; it is not safe for concurrent use because
+// transforms share no scratch but callers often share data buffers.
+type Plan struct {
+	n       int
+	logn    int
+	rev     []int
+	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k < n/2
+}
+
+// NewPlan creates a plan for complex FFTs of size n, which must be a power
+// of two and at least 1.
+func NewPlan(n int) *Plan {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("fft: size %d is not a positive power of two", n))
+	}
+	p := &Plan{n: n, logn: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logn))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p
+}
+
+// Size returns the transform size of the plan.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT:
+//
+//	X[u] = Σ_m x[m]·exp(-2πi·u·m/n).
+func (p *Plan) Forward(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: data length %d != plan size %d", len(x), p.n))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				tw += step
+				t := w * x[k+half]
+				x[k+half] = x[k] - t
+				x[k] = x[k] + t
+			}
+		}
+	}
+}
+
+// Inverse computes the in-place inverse DFT with 1/n normalization:
+//
+//	x[m] = (1/n)·Σ_u X[u]·exp(+2πi·u·m/n).
+func (p *Plan) Inverse(x []complex128) {
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+	p.Forward(x)
+	inv := 1 / float64(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*inv, -imag(x[i])*inv)
+	}
+}
+
+// Spectral bundles the three real transforms used by the Poisson solver for
+// one dimension of size M (a power of two). Internally every transform is a
+// complex FFT of size 2M over the mirror extension of the input.
+type Spectral struct {
+	m    int
+	plan *Plan
+	buf  []complex128
+	// phase[u] = exp(-iπu/(2M)) used to extract half-sample cosine series.
+	phase []complex128
+}
+
+// NewSpectral creates the transform set for dimension size m (power of two).
+func NewSpectral(m int) *Spectral {
+	s := &Spectral{m: m, plan: NewPlan(2 * m)}
+	s.buf = make([]complex128, 2*m)
+	s.phase = make([]complex128, m)
+	for u := 0; u < m; u++ {
+		ang := -math.Pi * float64(u) / float64(2*m)
+		s.phase[u] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return s
+}
+
+// Size returns M.
+func (s *Spectral) Size() int { return s.m }
+
+// CosCoeffs computes the unnormalized DCT-II analysis
+//
+//	a[u] = Σ_{m=0}^{M-1} x[m]·cos(πu(m+1/2)/M),  u = 0..M-1.
+//
+// out must have length M and may not alias x.
+func (s *Spectral) CosCoeffs(x, out []float64) {
+	s.check(x, out)
+	for m := 0; m < s.m; m++ {
+		v := complex(x[m], 0)
+		s.buf[m] = v
+		s.buf[2*s.m-1-m] = v
+	}
+	s.plan.Forward(s.buf)
+	for u := 0; u < s.m; u++ {
+		// Xe[u] = exp(iπu/(2M)) · 2·Σ x cos(πu(m+1/2)/M)
+		// Xe[u] = exp(iπu/(2M))·2·Σ x cos(πu(m+1/2)/M), so multiplying by
+		// phase[u] = exp(-iπu/(2M)) leaves twice the cosine sum.
+		out[u] = 0.5 * real(s.phase[u]*s.buf[u])
+	}
+}
+
+// EvalCos evaluates the cosine series
+//
+//	y[m] = Σ_{u=0}^{M-1} a[u]·cos(πu(m+1/2)/M).
+//
+// out must have length M and may not alias a.
+func (s *Spectral) EvalCos(a, out []float64) {
+	s.check(a, out)
+	// y[m] = Re( Σ_u a[u]·exp(iπu(m+1/2)/M) )
+	//      = Re( Σ_u (a[u]·exp(iπu/(2M)))·exp(2πi·u·m/(2M)) )
+	// Compute the positive-exponent sum as conj(FFT(conj(B))).
+	for u := 0; u < s.m; u++ {
+		// conj(B[u]) where B[u] = a[u]·exp(iπu/(2M)) = a[u]·conj(phase[u]).
+		s.buf[u] = complex(a[u], 0) * s.phase[u]
+	}
+	for u := s.m; u < 2*s.m; u++ {
+		s.buf[u] = 0
+	}
+	s.plan.Forward(s.buf)
+	for m := 0; m < s.m; m++ {
+		out[m] = real(s.buf[m]) // Re(conj(z)) == Re(z)
+	}
+}
+
+// EvalSin evaluates the sine series
+//
+//	y[m] = Σ_{u=0}^{M-1} c[u]·sin(πu(m+1/2)/M).
+//
+// The u = 0 term contributes nothing. out must have length M and may not
+// alias c.
+func (s *Spectral) EvalSin(c, out []float64) {
+	s.check(c, out)
+	// y[m] = Im( Σ_u c[u]·exp(iπu(m+1/2)/M) ), same sum as EvalCos:
+	// the positive-exponent sum equals conj(FFT(conj(B))), whose imaginary
+	// part is the negation of the computed FFT's imaginary part.
+	for u := 0; u < s.m; u++ {
+		s.buf[u] = complex(c[u], 0) * s.phase[u]
+	}
+	for u := s.m; u < 2*s.m; u++ {
+		s.buf[u] = 0
+	}
+	s.plan.Forward(s.buf)
+	for m := 0; m < s.m; m++ {
+		out[m] = -imag(s.buf[m])
+	}
+}
+
+func (s *Spectral) check(in, out []float64) {
+	if len(in) != s.m || len(out) != s.m {
+		panic(fmt.Sprintf("fft: spectral buffers %d/%d != size %d", len(in), len(out), s.m))
+	}
+}
+
+// Freq returns the spatial frequency k_u = πu/M of basis index u.
+func (s *Spectral) Freq(u int) float64 {
+	return math.Pi * float64(u) / float64(s.m)
+}

@@ -1,0 +1,247 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for u := 0; u < n; u++ {
+		var sum complex128
+		for m := 0; m < n; m++ {
+			ang := -2 * math.Pi * float64(u) * float64(m) / float64(n)
+			sum += x[m] * cmplx.Exp(complex(0, ang))
+		}
+		out[u] = sum
+	}
+	return out
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		NewPlan(n).Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 128} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		for i := range y {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d: roundtrip[%d] = %v, want %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// FFT of a constant is an impulse at DC.
+	n := 8
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 3
+	}
+	NewPlan(n).Forward(x)
+	if cmplx.Abs(x[0]-complex(24, 0)) > 1e-12 {
+		t.Errorf("DC bin = %v, want 24", x[0])
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(x[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestNewPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlan(%d) did not panic", n)
+				}
+			}()
+			NewPlan(n)
+		}()
+	}
+}
+
+func TestForwardRejectsWrongLength(t *testing.T) {
+	p := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Forward accepted wrong-length input")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}
+
+// naiveCosCoeffs is the O(M²) reference DCT-II.
+func naiveCosCoeffs(x []float64) []float64 {
+	m := len(x)
+	out := make([]float64, m)
+	for u := 0; u < m; u++ {
+		sum := 0.0
+		for i := 0; i < m; i++ {
+			sum += x[i] * math.Cos(math.Pi*float64(u)*(float64(i)+0.5)/float64(m))
+		}
+		out[u] = sum
+	}
+	return out
+}
+
+func naiveEvalCos(a []float64) []float64 {
+	m := len(a)
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		for u := 0; u < m; u++ {
+			sum += a[u] * math.Cos(math.Pi*float64(u)*(float64(i)+0.5)/float64(m))
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+func naiveEvalSin(c []float64) []float64 {
+	m := len(c)
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		for u := 0; u < m; u++ {
+			sum += c[u] * math.Sin(math.Pi*float64(u)*(float64(i)+0.5)/float64(m))
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+func TestSpectralMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []int{2, 4, 16, 32} {
+		s := NewSpectral(m)
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, m)
+
+		s.CosCoeffs(x, got)
+		want := naiveCosCoeffs(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*float64(m) {
+				t.Fatalf("m=%d: CosCoeffs[%d] = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+
+		s.EvalCos(x, got)
+		want = naiveEvalCos(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*float64(m) {
+				t.Fatalf("m=%d: EvalCos[%d] = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+
+		s.EvalSin(x, got)
+		want = naiveEvalSin(x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*float64(m) {
+				t.Fatalf("m=%d: EvalSin[%d] = %v, want %v", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: analysis followed by normalized synthesis reconstructs the
+// signal (the DCT-II / DCT-III inversion identity).
+func TestSpectralReconstruction(t *testing.T) {
+	m := 64
+	s := NewSpectral(m)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		a := make([]float64, m)
+		s.CosCoeffs(x, a)
+		for u := range a {
+			a[u] *= 2 / float64(m)
+		}
+		a[0] /= 2
+		y := make([]float64, m)
+		s.EvalCos(a, y)
+		for i := range y {
+			if math.Abs(y[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreq(t *testing.T) {
+	s := NewSpectral(8)
+	if s.Freq(0) != 0 {
+		t.Error("Freq(0) != 0")
+	}
+	if got, want := s.Freq(4), math.Pi/2; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Freq(4) = %v, want %v", got, want)
+	}
+	if s.Size() != 8 {
+		t.Errorf("Size = %d", s.Size())
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	p := NewPlan(256)
+	x := make([]complex128, 256)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkSpectral256(b *testing.B) {
+	s := NewSpectral(256)
+	x := make([]float64, 256)
+	out := make([]float64, 256)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.CosCoeffs(x, out)
+	}
+}

@@ -1,0 +1,197 @@
+// Package geom provides the small set of planar geometry primitives shared
+// by every placement, congestion, and routing module: points, rectangles,
+// and closed intervals on the real line, all in double precision.
+//
+// Coordinates follow the EDA convention: x grows to the right, y grows
+// upward, and rectangles are axis-aligned with inclusive lower-left and
+// exclusive upper-right semantics for area/overlap purposes.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the placement plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) float64 {
+	return math.Abs(p.X-q.X) + math.Abs(p.Y-q.Y)
+}
+
+// EuclideanDist returns the L2 distance between p and q.
+func (p Point) EuclideanDist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Lo is the lower-left corner and Hi the
+// upper-right corner. A Rect with Hi.X <= Lo.X or Hi.Y <= Lo.Y is empty.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// NewRect builds a rectangle from any two opposite corners, normalizing the
+// corner order.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{Lo: Point{x1, y1}, Hi: Point{x2, y2}}
+}
+
+// RectWH builds a rectangle from its lower-left corner and size.
+func RectWH(x, y, w, h float64) Rect {
+	return Rect{Lo: Point{x, y}, Hi: Point{x + w, y + h}}
+}
+
+// W returns the width of r (never negative).
+func (r Rect) W() float64 { return math.Max(0, r.Hi.X-r.Lo.X) }
+
+// H returns the height of r (never negative).
+func (r Rect) H() float64 { return math.Max(0, r.Hi.Y-r.Lo.Y) }
+
+// Area returns the area of r (zero for empty rectangles).
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Empty reports whether r encloses no area.
+func (r Rect) Empty() bool { return r.Hi.X <= r.Lo.X || r.Hi.Y <= r.Lo.Y }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (lower/left edges inclusive,
+// upper/right edges exclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X < r.Hi.X && p.Y >= r.Lo.Y && p.Y < r.Hi.Y
+}
+
+// ContainsClosed reports whether p lies inside r with all edges inclusive.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// Intersect returns the overlap region of r and s; the result may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Lo: Point{math.Max(r.Lo.X, s.Lo.X), math.Max(r.Lo.Y, s.Lo.Y)},
+		Hi: Point{math.Min(r.Hi.X, s.Hi.X), math.Min(r.Hi.Y, s.Hi.Y)},
+	}
+	return out
+}
+
+// OverlapArea returns the area shared by r and s.
+func (r Rect) OverlapArea(s Rect) float64 { return r.Intersect(s).Area() }
+
+// Overlaps reports whether r and s share positive area.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Union returns the smallest rectangle containing both r and s. Empty inputs
+// are ignored.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Lo: Point{math.Min(r.Lo.X, s.Lo.X), math.Min(r.Lo.Y, s.Lo.Y)},
+		Hi: Point{math.Max(r.Hi.X, s.Hi.X), math.Max(r.Hi.Y, s.Hi.Y)},
+	}
+}
+
+// Expand returns r grown by margin on every side (shrunk if margin < 0).
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Lo: Point{r.Lo.X - margin, r.Lo.Y - margin},
+		Hi: Point{r.Hi.X + margin, r.Hi.Y + margin},
+	}
+}
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{Lo: r.Lo.Add(d), Hi: r.Hi.Add(d)}
+}
+
+// ClampPoint returns the point of r closest to p.
+func (r Rect) ClampPoint(p Point) Point {
+	return Point{Clamp(p.X, r.Lo.X, r.Hi.X), Clamp(p.Y, r.Lo.Y, r.Hi.Y)}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Lo, r.Hi)
+}
+
+// Interval is a closed interval [Lo, Hi] on the real line.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Len returns the length of the interval (never negative).
+func (iv Interval) Len() float64 { return math.Max(0, iv.Hi-iv.Lo) }
+
+// Overlap returns the length of the intersection of two intervals.
+func (iv Interval) Overlap(other Interval) float64 {
+	lo := math.Max(iv.Lo, other.Lo)
+	hi := math.Min(iv.Hi, other.Hi)
+	return math.Max(0, hi-lo)
+}
+
+// Contains reports whether v is inside the closed interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Mid returns the interval midpoint.
+func (iv Interval) Mid() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampInt limits v to [lo, hi].
+func ClampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v, want (4,-2)", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v, want (-2,6)", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	p, q := Pt(0, 0), Pt(3, 4)
+	if got := p.ManhattanDist(q); got != 7 {
+		t.Errorf("ManhattanDist = %v, want 7", got)
+	}
+	if got := p.EuclideanDist(q); got != 5 {
+		t.Errorf("EuclideanDist = %v, want 5", got)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 6, 1, 2)
+	if r.Lo != Pt(1, 2) || r.Hi != Pt(5, 6) {
+		t.Errorf("NewRect did not normalize corners: %v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectWH(1, 2, 3, 4)
+	if r.W() != 3 || r.H() != 4 || r.Area() != 12 {
+		t.Errorf("W/H/Area = %v/%v/%v", r.W(), r.H(), r.Area())
+	}
+	if r.Center() != Pt(2.5, 4) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported empty")
+	}
+	if !RectWH(0, 0, 0, 5).Empty() {
+		t.Error("zero-width rect not reported empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := RectWH(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		half bool // Contains (half-open)
+		full bool // ContainsClosed
+	}{
+		{Pt(5, 5), true, true},
+		{Pt(0, 0), true, true},
+		{Pt(10, 10), false, true},
+		{Pt(10, 5), false, true},
+		{Pt(-1, 5), false, false},
+		{Pt(5, 11), false, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.half {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.half)
+		}
+		if got := r.ContainsClosed(c.p); got != c.full {
+			t.Errorf("ContainsClosed(%v) = %v, want %v", c.p, got, c.full)
+		}
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := RectWH(0, 0, 4, 4)
+	b := RectWH(2, 2, 4, 4)
+	if got := a.OverlapArea(b); got != 4 {
+		t.Errorf("OverlapArea = %v, want 4", got)
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps = false, want true")
+	}
+	c := RectWH(10, 10, 1, 1)
+	if a.Overlaps(c) {
+		t.Error("disjoint rects reported overlapping")
+	}
+	if got := a.OverlapArea(c); got != 0 {
+		t.Errorf("disjoint OverlapArea = %v, want 0", got)
+	}
+	u := a.Union(b)
+	if u.Lo != Pt(0, 0) || u.Hi != Pt(6, 6) {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty Union a = %v, want %v", got, a)
+	}
+}
+
+func TestRectExpandTranslateClamp(t *testing.T) {
+	r := RectWH(2, 2, 2, 2)
+	e := r.Expand(1)
+	if e.Lo != Pt(1, 1) || e.Hi != Pt(5, 5) {
+		t.Errorf("Expand = %v", e)
+	}
+	tr := r.Translate(Pt(1, -1))
+	if tr.Lo != Pt(3, 1) || tr.Hi != Pt(5, 3) {
+		t.Errorf("Translate = %v", tr)
+	}
+	if got := r.ClampPoint(Pt(10, 0)); got != Pt(4, 2) {
+		t.Errorf("ClampPoint = %v, want (4,2)", got)
+	}
+	if got := r.ClampPoint(Pt(3, 3)); got != Pt(3, 3) {
+		t.Errorf("ClampPoint interior = %v, want unchanged", got)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{1, 5}
+	if iv.Len() != 4 {
+		t.Errorf("Len = %v", iv.Len())
+	}
+	if got := iv.Overlap(Interval{3, 10}); got != 2 {
+		t.Errorf("Overlap = %v, want 2", got)
+	}
+	if got := iv.Overlap(Interval{6, 10}); got != 0 {
+		t.Errorf("disjoint Overlap = %v, want 0", got)
+	}
+	if !iv.Contains(1) || !iv.Contains(5) || iv.Contains(5.01) {
+		t.Error("Contains endpoints wrong")
+	}
+	if iv.Mid() != 3 {
+		t.Errorf("Mid = %v", iv.Mid())
+	}
+	if got := (Interval{5, 1}).Len(); got != 0 {
+		t.Errorf("inverted interval Len = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt wrong")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// Property: intersection area is symmetric and never exceeds either operand.
+func TestOverlapAreaProperties(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 100) }
+		a := RectWH(norm(x1), norm(y1), norm(w1), norm(h1))
+		b := RectWH(norm(x2), norm(y2), norm(w2), norm(h2))
+		ov := a.OverlapArea(b)
+		return ov == b.OverlapArea(a) && ov <= a.Area()+1e-9 && ov <= b.Area()+1e-9 && ov >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands.
+func TestUnionContainsProperty(t *testing.T) {
+	f := func(x1, y1, w1, h1, x2, y2, w2, h2 float64) bool {
+		norm := func(v float64) float64 { return math.Mod(math.Abs(v), 100) }
+		a := RectWH(norm(x1), norm(y1), norm(w1)+0.1, norm(h1)+0.1)
+		b := RectWH(norm(x2), norm(y2), norm(w2)+0.1, norm(h2)+0.1)
+		u := a.Union(b)
+		return u.OverlapArea(a) >= a.Area()-1e-9 && u.OverlapArea(b) >= b.Area()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package legal
+
+import (
+	"strings"
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+func checkDesign() *netlist.Design {
+	d := &netlist.Design{
+		Region:    geom.RectWH(0, 0, 20, 10),
+		RowHeight: 1,
+		SiteWidth: 0.25,
+		Layers:    netlist.DefaultLayers(),
+	}
+	d.AddCell(netlist.Cell{Name: "a", W: 1, H: 1, X: 0, Y: 0})
+	d.AddCell(netlist.Cell{Name: "b", W: 1, H: 1, X: 2, Y: 0})
+	d.AddCell(netlist.Cell{Name: "m", W: 4, H: 4, X: 10, Y: 4, Fixed: true, Macro: true})
+	return d
+}
+
+func kinds(vs []Violation) map[string]int {
+	m := map[string]int{}
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+func TestCheckCleanDesign(t *testing.T) {
+	d := checkDesign()
+	if vs := Check(d, 0); len(vs) != 0 {
+		t.Errorf("clean design reported %v", vs)
+	}
+}
+
+func TestCheckRowViolation(t *testing.T) {
+	d := checkDesign()
+	d.Cells[0].Y = 0.5
+	vs := Check(d, 0)
+	if kinds(vs)["row"] != 1 {
+		t.Errorf("violations = %v, want one row violation", vs)
+	}
+	if !strings.Contains(vs[0].String(), "off row grid") {
+		t.Errorf("bad description: %s", vs[0])
+	}
+}
+
+func TestCheckSiteViolation(t *testing.T) {
+	d := checkDesign()
+	d.Cells[0].X = 0.1
+	if kinds(Check(d, 0))["site"] != 1 {
+		t.Error("site violation not detected")
+	}
+}
+
+func TestCheckRegionViolation(t *testing.T) {
+	d := checkDesign()
+	d.Cells[0].X = 19.5 // 1-wide cell sticks out
+	vs := Check(d, 0)
+	if kinds(vs)["region"] != 1 {
+		t.Errorf("violations = %v, want region violation", vs)
+	}
+}
+
+func TestCheckOverlapViolation(t *testing.T) {
+	d := checkDesign()
+	d.Cells[1].X = 0.5 // overlaps cell a
+	vs := Check(d, 0)
+	if kinds(vs)["overlap"] != 1 {
+		t.Errorf("violations = %v, want overlap", vs)
+	}
+	v := vs[len(vs)-1]
+	if v.Other == -1 {
+		t.Error("overlap violation lacks second cell")
+	}
+}
+
+func TestCheckFixedOverlap(t *testing.T) {
+	d := checkDesign()
+	d.Cells[0].X = 10
+	d.Cells[0].Y = 5
+	if kinds(Check(d, 0))["fixed-overlap"] != 1 {
+		t.Error("fixed overlap not detected")
+	}
+}
+
+func TestCheckMaxLimits(t *testing.T) {
+	d := checkDesign()
+	d.Cells[0].X = 0.1
+	d.Cells[0].Y = 0.5
+	d.Cells[1].X = 0.1
+	d.Cells[1].Y = 0.5
+	vs := Check(d, 1)
+	if len(vs) != 1 {
+		t.Errorf("max=1 returned %d violations", len(vs))
+	}
+}
+
+func TestCheckAfterLegalize(t *testing.T) {
+	d := scatteredDesign(42, 500, true)
+	if _, err := Legalize(d, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(d, 0); len(vs) != 0 {
+		t.Errorf("legalized design has %d violations: %v", len(vs), vs[0])
+	}
+}

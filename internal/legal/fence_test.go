@@ -1,0 +1,93 @@
+package legal
+
+import (
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// fencedDesign puts a fence in the right half and assigns some cells to it.
+func fencedDesign(nc int) *netlist.Design {
+	d := &netlist.Design{
+		Region:    geom.RectWH(0, 0, 32, 16),
+		RowHeight: 1,
+		SiteWidth: 0.25,
+		Layers:    netlist.DefaultLayers(),
+	}
+	d.Fences = append(d.Fences, netlist.Fence{
+		Name: "core2", Rect: geom.RectWH(20, 4, 10, 8),
+	})
+	for i := 0; i < nc; i++ {
+		c := netlist.Cell{W: 1, H: 1, X: float64(i%20) + 0.5, Y: float64(i % 15)}
+		if i%3 == 0 {
+			c.Fence = 1
+		}
+		d.AddCell(c)
+	}
+	return d
+}
+
+func TestLegalizeHonorsFences(t *testing.T) {
+	d := fencedDesign(120)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Legalize(d, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(d, 0); len(vs) != 0 {
+		t.Fatalf("violations after fenced legalization: %v", vs[0])
+	}
+	fence := d.Fences[0].Rect
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		in := c.X >= fence.Lo.X-1e-6 && c.X+c.W <= fence.Hi.X+1e-6 &&
+			c.Y >= fence.Lo.Y-1e-6 && c.Y+c.H <= fence.Hi.Y+1e-6
+		if c.Fence == 1 && !in {
+			t.Fatalf("fenced cell %d at (%v,%v) escaped the fence", i, c.X, c.Y)
+		}
+		if c.Fence == 0 && in {
+			t.Fatalf("open cell %d placed inside the exclusive fence", i)
+		}
+	}
+}
+
+func TestCheckFenceViolation(t *testing.T) {
+	d := fencedDesign(6)
+	// Put a fenced cell outside its fence, on-grid.
+	d.Cells[0].X = 0
+	d.Cells[0].Y = 0
+	found := false
+	for _, v := range Check(d, 0) {
+		if v.Kind == "fence" && v.Cell == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fence violation not detected")
+	}
+}
+
+func TestValidateFenceBounds(t *testing.T) {
+	d := fencedDesign(3)
+	d.Cells[0].Fence = 7
+	if err := d.Validate(); err == nil {
+		t.Error("bad fence index accepted")
+	}
+	d = fencedDesign(3)
+	d.Fences[0].Rect = geom.RectWH(0, 0, 0.5, 0.5) // smaller than the cell
+	if err := d.Validate(); err == nil {
+		t.Error("cell larger than its fence accepted")
+	}
+}
+
+func TestFenceRect(t *testing.T) {
+	d := fencedDesign(3)
+	if got := d.FenceRect(0); got != d.Fences[0].Rect {
+		t.Errorf("FenceRect(fenced) = %v", got)
+	}
+	if got := d.FenceRect(1); got != d.Region {
+		t.Errorf("FenceRect(open) = %v", got)
+	}
+}

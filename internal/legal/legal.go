@@ -1,0 +1,529 @@
+// Package legal implements the white-space-assisted legalization stage of
+// the paper (Sec. III-D): the padding inherited from global placement is
+// discretized to whole placement sites by the staircase function of
+// Eq. 17, the total discrete padding is capped at a fraction of the
+// movable area by level-wise relegation, and the cells are then legalized
+// with an Abacus-based row algorithm [20] that minimizes quadratic
+// displacement. The padded width occupies the row, so the white space ends
+// up exactly where global placement wanted it.
+package legal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// Config controls legalization.
+type Config struct {
+	// Theta is the θ of Eq. 17 (staircase resolution).
+	Theta float64
+	// MaxUtil caps total discrete padding area as a fraction of total
+	// movable cell area (the paper uses 5%).
+	MaxUtil float64
+	// InheritPadding applies the global-placement padding; baselines that
+	// legalize without white-space assistance set it false.
+	InheritPadding bool
+}
+
+// DefaultConfig matches the paper's settings.
+func DefaultConfig() Config {
+	return Config{Theta: 4, MaxUtil: 0.05, InheritPadding: true}
+}
+
+// Result reports legalization quality.
+type Result struct {
+	TotalDisplacement float64
+	MaxDisplacement   float64
+	AvgDisplacement   float64
+	Cells             int
+	PaddingSites      int // total discrete padding applied, in sites
+}
+
+// segment is a contiguous span of free sites within a row.
+type segment struct {
+	rowY  float64
+	x0    float64 // aligned to sites
+	x1    float64
+	fence int          // 1-based fence owning this span; 0 = open region
+	cells []*legalCell // committed cells in x order
+	used  float64      // total committed width
+}
+
+type legalCell struct {
+	id      int
+	w       float64 // legal width including discrete padding
+	physW   float64 // physical width
+	fence   int     // 1-based fence constraint; 0 = unconstrained
+	targetX float64 // desired lower-left x of the legal slot
+	targetY float64
+	x       float64 // placed lower-left x of the legal slot
+}
+
+// cluster is the Abacus cluster record.
+type cluster struct {
+	first, last int // cell index range within segment.cells
+	e, q, w     float64
+	x           float64
+}
+
+// Legalize places all movable cells of d into legal, overlap-free,
+// site-aligned positions. It mutates cell X/Y in place and returns
+// displacement statistics measured against the incoming (global placement)
+// positions.
+func Legalize(d *netlist.Design, cfg Config) (Result, error) {
+	var res Result
+	movable := d.MovableIDs()
+	if len(movable) == 0 {
+		return res, nil
+	}
+	siteW := d.SiteWidth
+	rowH := d.RowHeight
+	if siteW <= 0 || rowH <= 0 {
+		return res, fmt.Errorf("legal: design lacks site/row geometry")
+	}
+
+	disPad := discretizePadding(d, movable, cfg)
+	for _, s := range disPad {
+		res.PaddingSites += s
+	}
+
+	segs := buildSegments(d, siteW, rowH)
+	if len(segs) == 0 {
+		return res, fmt.Errorf("legal: no free row segments")
+	}
+
+	// Cells sorted by target x (Abacus order).
+	cells := make([]*legalCell, 0, len(movable))
+	for k, ci := range movable {
+		c := &d.Cells[ci]
+		padW := float64(disPad[k]) * siteW
+		w := snapUp(c.W, siteW) + padW
+		cells = append(cells, &legalCell{
+			id:      ci,
+			w:       w,
+			physW:   c.W,
+			fence:   c.Fence,
+			targetX: c.X - padW/2,
+			targetY: c.Y,
+		})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].targetX != cells[j].targetX {
+			return cells[i].targetX < cells[j].targetX
+		}
+		return cells[i].id < cells[j].id
+	})
+
+	// Rows sorted by y for the candidate search.
+	segsByY := append([]*segment(nil), segs...)
+	sort.Slice(segsByY, func(i, j int) bool {
+		if segsByY[i].rowY != segsByY[j].rowY {
+			return segsByY[i].rowY < segsByY[j].rowY
+		}
+		return segsByY[i].x0 < segsByY[j].x0
+	})
+
+	for _, lc := range cells {
+		if err := placeCell(lc, segsByY, rowH); err != nil {
+			return res, err
+		}
+	}
+
+	// Final per-segment site alignment and overlap removal, then write
+	// back physical positions (cell centered within its padded slot).
+	for _, s := range segsByY {
+		finalizeSegment(s, siteW)
+		for _, lc := range s.cells {
+			c := &d.Cells[lc.id]
+			// Center the physical cell in its padded slot, keeping it on
+			// the site grid (odd discrete padding rounds down).
+			off := math.Floor((lc.w-lc.physW)/2/siteW) * siteW
+			newX := lc.x + off
+			newY := s.rowY
+			disp := math.Abs(newX-c.X) + math.Abs(newY-c.Y)
+			res.TotalDisplacement += disp
+			if disp > res.MaxDisplacement {
+				res.MaxDisplacement = disp
+			}
+			res.Cells++
+			c.X = newX
+			c.Y = newY
+		}
+	}
+	if res.Cells != len(movable) {
+		return res, fmt.Errorf("legal: placed %d of %d cells", res.Cells, len(movable))
+	}
+	res.AvgDisplacement = res.TotalDisplacement / float64(res.Cells)
+	return res, nil
+}
+
+// discretizePadding applies Eq. 17 and the level-wise relegation cap,
+// returning the discrete padding (in sites) per movable cell.
+func discretizePadding(d *netlist.Design, movable []int, cfg Config) []int {
+	out := make([]int, len(movable))
+	if !cfg.InheritPadding || cfg.Theta <= 0 {
+		return out
+	}
+	mp := 0.0
+	for _, ci := range movable {
+		if p := d.Cells[ci].PadW; p > mp {
+			mp = p
+		}
+	}
+	if mp <= 0 {
+		return out
+	}
+	for k, ci := range movable {
+		p := d.Cells[ci].PadW
+		if p <= 0 {
+			continue
+		}
+		out[k] = int(math.Floor(cfg.Theta * (p/mp + 0.5)))
+	}
+
+	// Cap: total padding area <= MaxUtil × movable area. Relegate the
+	// cells with the smallest analog padding within each discrete level
+	// until the constraint holds.
+	siteW := d.SiteWidth
+	cap := cfg.MaxUtil * d.TotalMovableArea()
+	area := func() float64 {
+		a := 0.0
+		for k, ci := range movable {
+			a += float64(out[k]) * siteW * d.Cells[ci].H
+		}
+		return a
+	}
+	if area() <= cap {
+		return out
+	}
+	// Order cells within each level by ascending PadW.
+	byLevel := map[int][]int{}
+	for k := range out {
+		if out[k] > 0 {
+			byLevel[out[k]] = append(byLevel[out[k]], k)
+		}
+	}
+	for lvl := range byLevel {
+		ks := byLevel[lvl]
+		sort.Slice(ks, func(a, b int) bool {
+			pa := d.Cells[movable[ks[a]]].PadW
+			pb := d.Cells[movable[ks[b]]].PadW
+			if pa != pb {
+				return pa < pb
+			}
+			return ks[a] < ks[b]
+		})
+	}
+	cur := area()
+	for cur > cap {
+		demoted := false
+		levels := make([]int, 0, len(byLevel))
+		for lvl := range byLevel {
+			levels = append(levels, lvl)
+		}
+		sort.Ints(levels)
+		for _, lvl := range levels {
+			ks := byLevel[lvl]
+			if len(ks) == 0 || lvl == 0 {
+				continue
+			}
+			k := ks[0]
+			byLevel[lvl] = ks[1:]
+			out[k]--
+			cur -= siteW * d.Cells[movable[k]].H
+			if out[k] > 0 {
+				byLevel[out[k]] = append(byLevel[out[k]], k)
+			}
+			demoted = true
+			if cur <= cap {
+				break
+			}
+		}
+		if !demoted {
+			break
+		}
+	}
+	return out
+}
+
+// buildSegments derives free row segments from the design rows minus fixed
+// cell overlaps. If the design has no explicit rows, uniform rows covering
+// the region are synthesized.
+func buildSegments(d *netlist.Design, siteW, rowH float64) []*segment {
+	rows := d.Rows
+	if len(rows) == 0 {
+		nRows := int(d.Region.H() / rowH)
+		for r := 0; r < nRows; r++ {
+			rows = append(rows, netlist.Row{
+				X: d.Region.Lo.X, Y: d.Region.Lo.Y + float64(r)*rowH,
+				W: d.Region.W(), SiteW: siteW,
+			})
+		}
+	}
+	var segs []*segment
+	for _, row := range rows {
+		// Collect blocked x-intervals from fixed cells overlapping the row.
+		type iv struct{ lo, hi float64 }
+		var blocked []iv
+		rowRect := geom.RectWH(row.X, row.Y, row.W, rowH)
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			if !c.Fixed {
+				continue
+			}
+			if c.Rect().Overlaps(rowRect) {
+				blocked = append(blocked, iv{c.X, c.X + c.W})
+			}
+		}
+		sort.Slice(blocked, func(a, b int) bool { return blocked[a].lo < blocked[b].lo })
+		x := row.X
+		end := row.X + row.W
+		emit := func(lo, hi float64) {
+			lo = snapUpTo(lo, row.X, siteW)
+			hi = snapDownTo(hi, row.X, siteW)
+			if hi-lo >= siteW {
+				segs = append(segs, &segment{rowY: row.Y, x0: lo, x1: hi})
+			}
+		}
+		for _, b := range blocked {
+			if b.lo > x {
+				emit(x, math.Min(b.lo, end))
+			}
+			if b.hi > x {
+				x = b.hi
+			}
+			if x >= end {
+				break
+			}
+		}
+		if x < end {
+			emit(x, end)
+		}
+	}
+	return splitByFences(d, segs, siteW, rowH)
+}
+
+// splitByFences carves row segments at fence boundaries. A sub-span whose
+// row lies fully inside a fence vertically is owned by that fence
+// (exclusive); a sub-span only partially covered vertically is unusable
+// and dropped; everything else stays open.
+func splitByFences(d *netlist.Design, segs []*segment, siteW, rowH float64) []*segment {
+	if len(d.Fences) == 0 {
+		return segs
+	}
+	var out []*segment
+	for _, s := range segs {
+		type span struct {
+			x0, x1 float64
+			fence  int // -1 = unusable
+		}
+		spans := []span{{s.x0, s.x1, 0}}
+		for fi, f := range d.Fences {
+			fr := f.Rect
+			rowRect := geom.RectWH(s.x0, s.rowY, s.x1-s.x0, rowH)
+			if !fr.Overlaps(rowRect) {
+				continue
+			}
+			fullV := fr.Lo.Y <= s.rowY+1e-9 && fr.Hi.Y >= s.rowY+rowH-1e-9
+			owner := fi + 1
+			if !fullV {
+				owner = -1 // partial vertical coverage: unusable strip
+			}
+			var next []span
+			for _, sp := range spans {
+				if sp.fence != 0 { // already claimed or dropped
+					next = append(next, sp)
+					continue
+				}
+				lo := math.Max(sp.x0, fr.Lo.X)
+				hi := math.Min(sp.x1, fr.Hi.X)
+				if hi <= lo { // no horizontal overlap
+					next = append(next, sp)
+					continue
+				}
+				if sp.x0 < lo {
+					next = append(next, span{sp.x0, lo, 0})
+				}
+				next = append(next, span{lo, hi, owner})
+				if hi < sp.x1 {
+					next = append(next, span{hi, sp.x1, 0})
+				}
+			}
+			spans = next
+		}
+		for _, sp := range spans {
+			if sp.fence < 0 {
+				continue
+			}
+			x0 := snapUpTo(sp.x0, s.x0, siteW)
+			x1 := snapDownTo(sp.x1, s.x0, siteW)
+			if x1-x0 < siteW {
+				continue
+			}
+			out = append(out, &segment{rowY: s.rowY, x0: x0, x1: x1, fence: sp.fence})
+		}
+	}
+	return out
+}
+
+func snapUp(v, unit float64) float64 {
+	return math.Ceil(v/unit-1e-9) * unit
+}
+
+func snapUpTo(v, origin, unit float64) float64 {
+	return origin + math.Ceil((v-origin)/unit-1e-9)*unit
+}
+
+func snapDownTo(v, origin, unit float64) float64 {
+	return origin + math.Floor((v-origin)/unit+1e-9)*unit
+}
+
+// placeCell finds the segment minimizing Abacus cost for lc and commits it.
+func placeCell(lc *legalCell, segs []*segment, rowH float64) error {
+	bestCost := math.Inf(1)
+	bestSeg := -1
+	bestX := 0.0
+	for si, s := range segs {
+		if s.fence != lc.fence {
+			continue // fenced cells only in their fence, open cells outside
+		}
+		dy := s.rowY - lc.targetY
+		if dy*dy >= bestCost {
+			// Rows are not sorted strictly by |dy| here, so keep scanning;
+			// the quadratic test still prunes the hopeless ones.
+			continue
+		}
+		if s.used+lc.w > s.x1-s.x0 {
+			continue
+		}
+		x, ok := trialPlace(s, lc)
+		if !ok {
+			continue
+		}
+		dx := x - lc.targetX
+		cost := dx*dx + dy*dy
+		if cost < bestCost {
+			bestCost = cost
+			bestSeg = si
+			bestX = x
+		}
+	}
+	if bestSeg < 0 {
+		return fmt.Errorf("legal: no segment fits cell %d (w=%.3f)", lc.id, lc.w)
+	}
+	s := segs[bestSeg]
+	lc.x = bestX
+	s.cells = append(s.cells, lc)
+	s.used += lc.w
+	commitPlace(s)
+	return nil
+}
+
+// trialPlace computes the Abacus position of lc if appended to s, without
+// mutating s. Returns the resulting x of lc.
+func trialPlace(s *segment, lc *legalCell) (float64, bool) {
+	// Simulate cluster collapse over the committed cells plus lc. The
+	// committed cells already honour Abacus order (sorted by targetX), so
+	// we only need the cluster chain; rebuild it from stored positions.
+	// For simplicity and robustness we recompute the cluster chain from
+	// scratch: committed cells keep their target order.
+	cellsAll := append(append([]*legalCell(nil), s.cells...), lc)
+	xs, ok := abacusRow(cellsAll, s.x0, s.x1)
+	if !ok {
+		return 0, false
+	}
+	return xs[len(xs)-1], true
+}
+
+// commitPlace recomputes final positions of every cell in the segment.
+func commitPlace(s *segment) {
+	xs, ok := abacusRow(s.cells, s.x0, s.x1)
+	if !ok {
+		return
+	}
+	for i, lc := range s.cells {
+		lc.x = xs[i]
+	}
+}
+
+// abacusRow runs the Abacus cluster algorithm over cells (in order),
+// returning their x positions within [x0, x1], or false if they do not fit.
+func abacusRow(cells []*legalCell, x0, x1 float64) ([]float64, bool) {
+	total := 0.0
+	for _, c := range cells {
+		total += c.w
+	}
+	if total > x1-x0+1e-9 {
+		return nil, false
+	}
+	clusters := make([]cluster, 0, len(cells))
+	for i, c := range cells {
+		nc := cluster{first: i, last: i, e: 1, q: c.targetX, w: c.w}
+		nc.x = clampCluster(nc, x0, x1)
+		clusters = append(clusters, nc)
+		// Collapse while overlapping the previous cluster.
+		for len(clusters) >= 2 {
+			b := &clusters[len(clusters)-1]
+			a := &clusters[len(clusters)-2]
+			if a.x+a.w <= b.x+1e-12 {
+				break
+			}
+			// Merge b into a: q accumulates desired positions relative to
+			// each cell's offset within the cluster.
+			a.q += b.q - b.e*a.w
+			a.e += b.e
+			a.w += b.w
+			a.last = b.last
+			clusters = clusters[:len(clusters)-1]
+			a.x = clampCluster(*a, x0, x1)
+		}
+	}
+	xs := make([]float64, len(cells))
+	for _, cl := range clusters {
+		x := cl.x
+		for i := cl.first; i <= cl.last; i++ {
+			xs[i] = x
+			x += cells[i].w
+		}
+	}
+	return xs, true
+}
+
+func clampCluster(c cluster, x0, x1 float64) float64 {
+	x := c.q / c.e
+	if x < x0 {
+		x = x0
+	}
+	if x+c.w > x1 {
+		x = x1 - c.w
+	}
+	return x
+}
+
+// finalizeSegment snaps every cell to the site grid and removes any
+// residual overlaps introduced by snapping.
+func finalizeSegment(s *segment, siteW float64) {
+	sort.Slice(s.cells, func(i, j int) bool { return s.cells[i].x < s.cells[j].x })
+	// Left-to-right: snap and push right.
+	cursor := s.x0
+	for _, lc := range s.cells {
+		x := snapUpTo(math.Max(lc.x, cursor), s.x0, siteW)
+		lc.x = x
+		cursor = x + lc.w
+	}
+	// If we ran past the segment end, push back left.
+	if cursor > s.x1+1e-9 {
+		limit := s.x1
+		for i := len(s.cells) - 1; i >= 0; i-- {
+			lc := s.cells[i]
+			if lc.x+lc.w > limit {
+				lc.x = snapDownTo(limit-lc.w, s.x0, siteW)
+			}
+			limit = lc.x
+		}
+	}
+}

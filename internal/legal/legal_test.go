@@ -1,0 +1,276 @@
+package legal
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// scatteredDesign builds nc cells with global-placement-like positions
+// (random, overlapping) in a 64x64 region.
+func scatteredDesign(seed int64, nc int, withMacro bool) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := &netlist.Design{
+		Name:      "lg",
+		Region:    geom.RectWH(0, 0, 64, 64),
+		RowHeight: 1,
+		SiteWidth: 0.25,
+		Layers:    netlist.DefaultLayers(),
+	}
+	if withMacro {
+		d.AddCell(netlist.Cell{Name: "m", W: 16, H: 16, X: 24, Y: 24, Fixed: true, Macro: true})
+	}
+	for i := 0; i < nc; i++ {
+		w := 0.5 + 0.25*float64(rng.Intn(4))
+		d.AddCell(netlist.Cell{
+			W: w, H: 1,
+			X: rng.Float64() * (64 - w),
+			Y: rng.Float64() * 63,
+		})
+	}
+	return d
+}
+
+// checkLegal verifies row/site alignment, region containment, and absence
+// of overlaps (including with fixed cells).
+func checkLegal(t *testing.T, d *netlist.Design) {
+	t.Helper()
+	type placed struct {
+		x0, x1, y float64
+		id        int
+	}
+	var cells []placed
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		// Row alignment.
+		ry := (c.Y - d.Region.Lo.Y) / d.RowHeight
+		if math.Abs(ry-math.Round(ry)) > 1e-6 {
+			t.Fatalf("cell %d not row aligned: y=%v", i, c.Y)
+		}
+		if c.X < d.Region.Lo.X-1e-6 || c.X+c.W > d.Region.Hi.X+1e-6 ||
+			c.Y < d.Region.Lo.Y-1e-6 || c.Y+c.H > d.Region.Hi.Y+1e-6 {
+			t.Fatalf("cell %d outside region: (%v,%v)", i, c.X, c.Y)
+		}
+		cells = append(cells, placed{c.X, c.X + c.W, c.Y, i})
+		// No overlap with fixed cells.
+		for j := range d.Cells {
+			f := &d.Cells[j]
+			if f.Fixed && c.Rect().OverlapArea(f.Rect()) > 1e-9 {
+				t.Fatalf("cell %d overlaps fixed cell %d", i, j)
+			}
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].y != cells[b].y {
+			return cells[a].y < cells[b].y
+		}
+		return cells[a].x0 < cells[b].x0
+	})
+	for k := 1; k < len(cells); k++ {
+		a, b := cells[k-1], cells[k]
+		if a.y == b.y && b.x0 < a.x1-1e-6 {
+			t.Fatalf("cells %d and %d overlap in row y=%v: [%v,%v) vs [%v,%v)",
+				a.id, b.id, a.y, a.x0, a.x1, b.x0, b.x1)
+		}
+	}
+}
+
+func TestLegalizeBasic(t *testing.T) {
+	d := scatteredDesign(1, 400, false)
+	res, err := Legalize(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, d)
+	if res.Cells != 400 {
+		t.Errorf("legalized %d cells, want 400", res.Cells)
+	}
+	if res.AvgDisplacement > 3 {
+		t.Errorf("average displacement %v too large", res.AvgDisplacement)
+	}
+	if res.MaxDisplacement < res.AvgDisplacement {
+		t.Error("max displacement below average")
+	}
+}
+
+func TestLegalizeAvoidsMacro(t *testing.T) {
+	d := scatteredDesign(2, 400, true)
+	if _, err := Legalize(d, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, d)
+}
+
+func TestLegalizeDense(t *testing.T) {
+	// ~70% utilization: still must succeed without overlap.
+	d := scatteredDesign(3, 2800, false)
+	if _, err := Legalize(d, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	checkLegal(t, d)
+}
+
+func TestPaddingCreatesWhiteSpace(t *testing.T) {
+	run := func(pad bool) float64 {
+		d := scatteredDesign(4, 200, false)
+		for i := range d.Cells {
+			d.Cells[i].PadW = 1.0
+		}
+		cfg := DefaultConfig()
+		cfg.InheritPadding = pad
+		cfg.MaxUtil = 1 // no cap, isolate the padding effect
+		if _, err := Legalize(d, cfg); err != nil {
+			t.Fatal(err)
+		}
+		checkLegal(t, d)
+		// Mean nearest same-row gap.
+		type pc struct{ x0, x1, y float64 }
+		var cells []pc
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			cells = append(cells, pc{c.X, c.X + c.W, c.Y})
+		}
+		sort.Slice(cells, func(a, b int) bool {
+			if cells[a].y != cells[b].y {
+				return cells[a].y < cells[b].y
+			}
+			return cells[a].x0 < cells[b].x0
+		})
+		gaps, n := 0.0, 0
+		for k := 1; k < len(cells); k++ {
+			if cells[k].y == cells[k-1].y {
+				gaps += cells[k].x0 - cells[k-1].x1
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return gaps / float64(n)
+	}
+	gapPadded := run(true)
+	gapPlain := run(false)
+	if gapPadded <= gapPlain {
+		t.Errorf("padding did not widen gaps: %v vs %v", gapPadded, gapPlain)
+	}
+}
+
+func TestDiscretizePaddingStaircase(t *testing.T) {
+	d := scatteredDesign(5, 4, false)
+	movable := d.MovableIDs()
+	d.Cells[movable[0]].PadW = 0
+	d.Cells[movable[1]].PadW = 0.5
+	d.Cells[movable[2]].PadW = 1.0
+	d.Cells[movable[3]].PadW = 2.0 // mp
+	cfg := Config{Theta: 4, MaxUtil: 1, InheritPadding: true}
+	got := discretizePadding(d, movable, cfg)
+	// Eq. 17 with θ=4, mp=2: floor(4·(p/2 + 0.5)).
+	want := []int{0, 3, 4, 6}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Errorf("DisPad[%d] = %d, want %d", k, got[k], want[k])
+		}
+	}
+}
+
+func TestDiscretizePaddingCap(t *testing.T) {
+	d := scatteredDesign(6, 100, false)
+	movable := d.MovableIDs()
+	for _, ci := range movable {
+		d.Cells[ci].PadW = 2.0
+	}
+	cfg := DefaultConfig() // 5% cap
+	got := discretizePadding(d, movable, cfg)
+	area := 0.0
+	for k, ci := range movable {
+		area += float64(got[k]) * d.SiteWidth * d.Cells[ci].H
+	}
+	if cap := cfg.MaxUtil * d.TotalMovableArea(); area > cap+1e-9 {
+		t.Errorf("discrete padding area %v exceeds cap %v", area, cap)
+	}
+}
+
+func TestDiscretizePaddingDisabled(t *testing.T) {
+	d := scatteredDesign(7, 10, false)
+	movable := d.MovableIDs()
+	for _, ci := range movable {
+		d.Cells[ci].PadW = 1
+	}
+	got := discretizePadding(d, movable, Config{Theta: 4, MaxUtil: 0.05, InheritPadding: false})
+	for k, v := range got {
+		if v != 0 {
+			t.Errorf("DisPad[%d] = %d with padding disabled", k, v)
+		}
+	}
+}
+
+func TestLegalizeErrorsOnMissingGeometry(t *testing.T) {
+	d := scatteredDesign(8, 10, false)
+	d.SiteWidth = 0
+	if _, err := Legalize(d, DefaultConfig()); err == nil {
+		t.Error("no error for missing site width")
+	}
+}
+
+func TestLegalizeEmptyDesign(t *testing.T) {
+	d := &netlist.Design{Region: geom.RectWH(0, 0, 10, 10), RowHeight: 1, SiteWidth: 0.25}
+	res, err := Legalize(d, DefaultConfig())
+	if err != nil || res.Cells != 0 {
+		t.Errorf("empty design: res=%+v err=%v", res, err)
+	}
+}
+
+func TestAbacusRowMinimalDisplacement(t *testing.T) {
+	// Two cells wanting the same spot: Abacus should split them around it.
+	cells := []*legalCell{
+		{w: 2, targetX: 10},
+		{w: 2, targetX: 10},
+	}
+	xs, ok := abacusRow(cells, 0, 100)
+	if !ok {
+		t.Fatal("abacusRow failed")
+	}
+	if xs[1]-xs[0] != 2 {
+		t.Errorf("cells not abutted: %v", xs)
+	}
+	center := (xs[0] + xs[1] + 2) / 2
+	if math.Abs(center-11) > 1e-9 {
+		t.Errorf("cluster center = %v, want 11", center)
+	}
+}
+
+func TestAbacusRowRespectsBounds(t *testing.T) {
+	cells := []*legalCell{{w: 4, targetX: -50}}
+	xs, ok := abacusRow(cells, 0, 10)
+	if !ok || xs[0] != 0 {
+		t.Errorf("left clamp: %v ok=%v", xs, ok)
+	}
+	cells = []*legalCell{{w: 4, targetX: 50}}
+	xs, ok = abacusRow(cells, 0, 10)
+	if !ok || xs[0] != 6 {
+		t.Errorf("right clamp: %v ok=%v", xs, ok)
+	}
+	cells = []*legalCell{{w: 6, targetX: 0}, {w: 6, targetX: 1}}
+	if _, ok := abacusRow(cells, 0, 10); ok {
+		t.Error("overfull row accepted")
+	}
+}
+
+func BenchmarkLegalize2000(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := scatteredDesign(int64(i), 2000, true)
+		b.StartTimer()
+		if _, err := Legalize(d, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

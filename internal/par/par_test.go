@@ -1,0 +1,62 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForParallelBranch forces multiple workers even on single-core hosts
+// so the goroutine fan-out path is exercised.
+func TestForParallelBranch(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 997 // not divisible by the worker count
+	var hits [n]int32
+	var total int32
+	For(n, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+		atomic.AddInt32(&total, 1)
+	})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+	// More workers than items: each item still visited once.
+	var small int32
+	For(2, func(i int) { atomic.AddInt32(&small, 1) })
+	if small != 2 {
+		t.Fatalf("small run total = %d", small)
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForSmallAndEmpty(t *testing.T) {
+	var count int32
+	For(0, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 0 {
+		t.Error("For(0) invoked fn")
+	}
+	For(1, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 1 {
+		t.Errorf("For(1) invoked fn %d times", count)
+	}
+	For(3, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 4 {
+		t.Errorf("For(3) total = %d, want 4", count)
+	}
+}

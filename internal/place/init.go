@@ -1,0 +1,125 @@
+package place
+
+import (
+	"puffer/internal/geom"
+)
+
+// quadraticInit refines the initial positions in x0 (vector layout as in
+// New) with Jacobi sweeps on a star-model quadratic wirelength system:
+// every cell is pulled toward the centroids of its nets, with a weak
+// anchor to the region center (and to fixed-cell pins, which act as the
+// real anchors when present). This is the classic quadratic-placement
+// bootstrap (Kraftwerk/BonnPlace lineage): clusters pre-form before the
+// nonlinear engine starts, cutting the spreading phase short.
+func (p *Placer) quadraticInit(x0 []float64, sweeps int) {
+	d := p.D
+	nm := len(p.movable)
+	off := nm + p.nFill
+
+	// movableIdx maps cell ID to vector slot; -1 for fixed cells.
+	movableIdx := make([]int, len(d.Cells))
+	for i := range movableIdx {
+		movableIdx[i] = -1
+	}
+	for k, ci := range p.movable {
+		movableIdx[ci] = k
+	}
+
+	center := d.Region.Center()
+	const anchorW = 0.2 // weak pull to the region center
+
+	sumX := make([]float64, nm)
+	sumY := make([]float64, nm)
+	cnt := make([]float64, nm)
+
+	sweep := func() {
+		for k := range sumX {
+			sumX[k], sumY[k], cnt[k] = 0, 0, 0
+		}
+		for n := range d.Nets {
+			pins := d.Nets[n].Pins
+			if len(pins) < 2 {
+				continue
+			}
+			// Net centroid over current positions (fixed pins included at
+			// their true locations — these anchor the system).
+			cx, cy := 0.0, 0.0
+			for _, pid := range pins {
+				pin := &d.Pins[pid]
+				if mi := movableIdx[pin.Cell]; mi >= 0 {
+					cx += x0[mi] + pin.Dx - d.Cells[pin.Cell].W/2
+					cy += x0[off+mi] + pin.Dy - d.Cells[pin.Cell].H/2
+				} else {
+					pt := d.PinPos(pid)
+					cx += pt.X
+					cy += pt.Y
+				}
+			}
+			cx /= float64(len(pins))
+			cy /= float64(len(pins))
+			w := d.Nets[n].Weight
+			if w == 0 {
+				w = 1
+			}
+			for _, pid := range pins {
+				pin := &d.Pins[pid]
+				if mi := movableIdx[pin.Cell]; mi >= 0 {
+					c := &d.Cells[pin.Cell]
+					sumX[mi] += w * (cx - pin.Dx + c.W/2)
+					sumY[mi] += w * (cy - pin.Dy + c.H/2)
+					cnt[mi] += w
+				}
+			}
+		}
+		for k, ci := range p.movable {
+			c := &d.Cells[ci]
+			den := cnt[k] + anchorW
+			nx := (sumX[k] + anchorW*center.X) / den
+			ny := (sumY[k] + anchorW*center.Y) / den
+			b := d.FenceRect(ci)
+			x0[k] = geom.Clamp(nx, b.Lo.X+c.W/2, b.Hi.X-c.W/2)
+			x0[off+k] = geom.Clamp(ny, b.Lo.Y+c.H/2, b.Hi.Y-c.H/2)
+		}
+	}
+	for s := 0; s < sweeps; s++ {
+		sweep()
+	}
+
+	// The quadratic solution collapses toward the anchors; rescale the
+	// cloud so it pre-covers most of the die (the cluster structure is the
+	// value, not the collapsed coordinates), then re-clamp fences.
+	loX, hiX := x0[0], x0[0]
+	loY, hiY := x0[off], x0[off]
+	for k := range p.movable {
+		loX = minF(loX, x0[k])
+		hiX = maxF(hiX, x0[k])
+		loY = minF(loY, x0[off+k])
+		hiY = maxF(hiY, x0[off+k])
+	}
+	spanX, spanY := hiX-loX, hiY-loY
+	if spanX > 1e-9 && spanY > 1e-9 {
+		target := d.Region.Expand(-0.15 * minF(d.Region.W(), d.Region.H()))
+		for k, ci := range p.movable {
+			c := &d.Cells[ci]
+			nx := target.Lo.X + (x0[k]-loX)/spanX*target.W()
+			ny := target.Lo.Y + (x0[off+k]-loY)/spanY*target.H()
+			b := d.FenceRect(ci)
+			x0[k] = geom.Clamp(nx, b.Lo.X+c.W/2, b.Hi.X-c.W/2)
+			x0[off+k] = geom.Clamp(ny, b.Lo.Y+c.H/2, b.Hi.Y-c.H/2)
+		}
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

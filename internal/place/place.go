@@ -1,0 +1,444 @@
+// Package place implements the electrostatic global placement engine
+// (paper Sec. II-B): the unconstrained objective f = W + λ·D of Eq. 1,
+// with WA wirelength (Eq. 2), spectral electrostatic density (Eqs. 3–6),
+// Nesterov iterations, filler cells occupying target whitespace, λ and γ
+// scheduling, and a pluggable routability-optimizer hook that is invoked
+// every iteration so cell padding can steer the spreading (paper Fig. 2).
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"puffer/internal/density"
+	"puffer/internal/geom"
+	"puffer/internal/nesterov"
+	"puffer/internal/netlist"
+	"puffer/internal/wirelength"
+)
+
+// Config controls the global placement engine.
+type Config struct {
+	// GridM/GridN are the density grid dimensions (powers of two).
+	// Zero selects them automatically from the movable cell count.
+	GridM, GridN int
+	// TargetDensity is the placement target density in (0, 1].
+	TargetDensity float64
+	// MaxIters bounds the Nesterov iterations.
+	MaxIters int
+	// StopOverflow is the density overflow below which placement stops.
+	StopOverflow float64
+	// MinIters prevents premature convergence checks.
+	MinIters int
+	// PlateauIters stops placement when the density overflow has not
+	// improved for this many iterations (the target StopOverflow may be
+	// unreachable once padding has grown the effective cell area).
+	PlateauIters int
+	// LambdaMu is the maximum per-iteration density-penalty multiplier.
+	// The actual multiplier adapts to the HPWL trajectory (ePlace-style):
+	// λ grows at LambdaMu while wirelength is stable and backs off when
+	// the density force starts tearing nets apart.
+	LambdaMu float64
+	// UseFillers enables ePlace-style filler cells.
+	UseFillers bool
+	// WLModel selects the smooth wirelength approximation (WA per the
+	// paper; LSE is the log-sum-exp alternative of earlier placers).
+	WLModel wirelength.Kind
+	// QuadraticInit bootstraps the initial placement with star-model
+	// Jacobi sweeps (quadratic-placement style) instead of pure
+	// center-plus-jitter, pre-forming clusters before the nonlinear
+	// engine runs.
+	QuadraticInit bool
+	// Seed drives the deterministic initial placement jitter.
+	Seed int64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config {
+	return Config{
+		TargetDensity: 0.9,
+		MaxIters:      600,
+		StopOverflow:  0.07,
+		MinIters:      40,
+		PlateauIters:  120,
+		LambdaMu:      1.05,
+		UseFillers:    true,
+	}
+}
+
+// Hook is the routability-optimizer callback invoked once per iteration
+// with the current density overflow. It returns true when it changed cell
+// padding, so the engine refreshes charge areas and retires fillers to
+// compensate for the added padding area.
+type Hook interface {
+	OnIteration(iter int, overflow float64) bool
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(iter int, overflow float64) bool
+
+// OnIteration implements Hook.
+func (f HookFunc) OnIteration(iter int, overflow float64) bool { return f(iter, overflow) }
+
+// IterStats records one engine iteration for tracing and experiments.
+type IterStats struct {
+	Iter     int
+	HPWL     float64
+	Overflow float64
+	Lambda   float64
+	Gamma    float64
+	Padded   bool
+}
+
+// Result summarizes a finished global placement.
+type Result struct {
+	HPWL     float64
+	Overflow float64
+	Iters    int
+	Trace    []IterStats
+}
+
+// Placer is the global placement engine for one design.
+type Placer struct {
+	D   *netlist.Design
+	Cfg Config
+
+	movable []int // movable cell IDs
+	grid    *density.Grid
+	wl      *wirelength.Model
+
+	// fillers
+	nFill      int
+	activeFill int
+	fillerW    float64
+	fillerH    float64
+
+	// optimization state: vector layout is
+	// [x of movables | x of fillers | y of movables | y of fillers].
+	nVar           int
+	gradWx, gradWy []float64 // per-cell wirelength gradients (all cells)
+	lambda         float64
+	gamma          float64
+	overflow       float64
+	binBase        float64
+
+	opt *nesterov.Optimizer
+}
+
+// New builds a placer for d. The initial placement gathers movable cells
+// near the region center with deterministic jitter.
+func New(d *netlist.Design, cfg Config) *Placer {
+	if cfg.TargetDensity <= 0 || cfg.TargetDensity > 1 {
+		panic(fmt.Sprintf("place: target density %v out of (0,1]", cfg.TargetDensity))
+	}
+	p := &Placer{D: d, Cfg: cfg, movable: d.MovableIDs()}
+	n := len(p.movable)
+	if n == 0 {
+		return p
+	}
+
+	if cfg.GridM == 0 {
+		g := geom.NextPow2(int(math.Sqrt(float64(n))))
+		cfg.GridM = geom.ClampInt(g, 16, 512)
+	}
+	if cfg.GridN == 0 {
+		cfg.GridN = cfg.GridM
+	}
+	p.Cfg = cfg
+
+	p.grid = density.NewGrid(d.Region, cfg.GridM, cfg.GridN)
+	for i := range d.Cells {
+		if d.Cells[i].Fixed {
+			p.grid.AddFixedRect(d.Cells[i].Rect(), 1)
+		}
+	}
+	p.binBase = (p.grid.BinW + p.grid.BinH) / 2
+	p.wl = wirelength.New(d, 8*p.binBase)
+	p.wl.Kind = cfg.WLModel
+	p.gradWx = make([]float64, len(d.Cells))
+	p.gradWy = make([]float64, len(d.Cells))
+
+	// Fillers: fill target whitespace with average-size dummy cells.
+	if cfg.UseFillers {
+		stats := d.Stats()
+		fillArea := stats.FreeArea*cfg.TargetDensity - stats.CellArea
+		if fillArea > 0 {
+			avgW := 0.0
+			for _, ci := range p.movable {
+				avgW += d.Cells[ci].W
+			}
+			avgW /= float64(n)
+			p.fillerW = math.Max(avgW, d.SiteWidth)
+			p.fillerH = d.RowHeight
+			if p.fillerH <= 0 {
+				p.fillerH = 1
+			}
+			p.nFill = int(fillArea / (p.fillerW * p.fillerH))
+		}
+	}
+	p.activeFill = p.nFill
+
+	// Initial placement: region center plus jitter, fillers uniform.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := d.Region.Center()
+	jx := d.Region.W() / 40
+	jy := d.Region.H() / 40
+	nm := len(p.movable)
+	p.nVar = 2 * (nm + p.nFill)
+	x0 := make([]float64, p.nVar)
+	for k, ci := range p.movable {
+		start := c
+		if d.Cells[ci].Fence > 0 {
+			start = d.FenceRect(ci).Center()
+		}
+		x0[k] = start.X + (rng.Float64()*2-1)*jx
+		x0[nm+p.nFill+k] = start.Y + (rng.Float64()*2-1)*jy
+	}
+	for f := 0; f < p.nFill; f++ {
+		x0[nm+f] = d.Region.Lo.X + rng.Float64()*d.Region.W()
+		x0[nm+p.nFill+nm+f] = d.Region.Lo.Y + rng.Float64()*d.Region.H()
+	}
+	if cfg.QuadraticInit {
+		p.quadraticInit(x0, 20)
+	}
+	p.opt = nesterov.New(x0, p.eval, p.binBase/4)
+	p.opt.MaxBacktrack = 1
+	return p
+}
+
+// Grid exposes the density grid (used by tests and experiments).
+func (p *Placer) Grid() *density.Grid { return p.grid }
+
+// writePositions scatters the movable-cell portion of vector x into the
+// design as cell centers.
+func (p *Placer) writePositions(x []float64) {
+	nm := len(p.movable)
+	off := nm + p.nFill
+	for k, ci := range p.movable {
+		p.D.Cells[ci].SetCenter(geom.Pt(x[k], x[off+k]))
+	}
+}
+
+// depositMovable adds the padded outlines of all movable cells as charge.
+func (p *Placer) depositMovable() {
+	for _, ci := range p.movable {
+		p.grid.AddRect(p.D.Cells[ci].PaddedRect(), 1)
+	}
+}
+
+// eval is the gradient oracle for the Nesterov optimizer: it computes
+// ∇(W + λD) at positions x, preconditioned per variable.
+func (p *Placer) eval(x, grad []float64) {
+	d := p.D
+	nm := len(p.movable)
+	off := nm + p.nFill
+
+	p.writePositions(x)
+	for i := range p.gradWx {
+		p.gradWx[i] = 0
+		p.gradWy[i] = 0
+	}
+	p.wl.Gamma = p.gamma
+	p.wl.WirelengthAndGrad(p.gradWx, p.gradWy)
+
+	p.grid.Reset()
+	p.depositMovable()
+	for f := 0; f < p.activeFill; f++ {
+		cx := x[nm+f]
+		cy := x[off+nm+f]
+		p.grid.AddRect(geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH), 1)
+	}
+	p.grid.Solve()
+
+	lambda := p.lambda
+	for k, ci := range p.movable {
+		c := &d.Cells[ci]
+		fx, fy := p.grid.ForceOnRect(c.PaddedRect())
+		gx := p.gradWx[ci] - lambda*fx
+		gy := p.gradWy[ci] - lambda*fy
+		// Preconditioner: pin count + λ·charge, per ePlace.
+		h := math.Max(1, float64(len(c.Pins))+lambda*c.PaddedW()*c.H)
+		grad[k] = gx / h
+		grad[off+k] = gy / h
+	}
+	fillerQ := p.fillerW * p.fillerH
+	for f := 0; f < p.nFill; f++ {
+		if f >= p.activeFill {
+			grad[nm+f] = 0
+			grad[off+nm+f] = 0
+			continue
+		}
+		cx := x[nm+f]
+		cy := x[off+nm+f]
+		fx, fy := p.grid.ForceOnRect(geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH))
+		h := math.Max(1, lambda*fillerQ)
+		grad[nm+f] = -lambda * fx / h
+		grad[off+nm+f] = -lambda * fy / h
+	}
+}
+
+// project clamps every coordinate so cell centers stay inside the region
+// (or the cell's fence, when constrained).
+func (p *Placer) project(x []float64) {
+	d := p.D
+	nm := len(p.movable)
+	off := nm + p.nFill
+	lo, hi := d.Region.Lo, d.Region.Hi
+	for k, ci := range p.movable {
+		c := &d.Cells[ci]
+		b := d.FenceRect(ci)
+		x[k] = geom.Clamp(x[k], b.Lo.X+c.W/2, b.Hi.X-c.W/2)
+		x[off+k] = geom.Clamp(x[off+k], b.Lo.Y+c.H/2, b.Hi.Y-c.H/2)
+	}
+	for f := 0; f < p.nFill; f++ {
+		x[nm+f] = geom.Clamp(x[nm+f], lo.X+p.fillerW/2, hi.X-p.fillerW/2)
+		x[off+nm+f] = geom.Clamp(x[off+nm+f], lo.Y+p.fillerH/2, hi.Y-p.fillerH/2)
+	}
+}
+
+// computeOverflow measures density overflow of movable cells only (the τ
+// trigger metric), at the current major solution.
+func (p *Placer) computeOverflow() float64 {
+	p.writePositions(p.opt.Current())
+	p.grid.Reset()
+	p.depositMovable()
+	return p.grid.Overflow(p.Cfg.TargetDensity, p.D.TotalMovableArea()+p.D.TotalPaddingArea())
+}
+
+// updateGamma applies the ePlace γ schedule: smooth when overflow is high,
+// sharp as the placement converges.
+func (p *Placer) updateGamma() {
+	ovf := geom.Clamp(p.overflow, 0, 1)
+	k := 20.0 / 9.0
+	b := -11.0 / 9.0
+	p.gamma = 8 * p.binBase * math.Pow(10, k*ovf+b)
+}
+
+// initLambda balances the initial wirelength and density gradient norms.
+func (p *Placer) initLambda() {
+	nm := len(p.movable)
+	off := nm + p.nFill
+	x := p.opt.Current()
+
+	p.writePositions(x)
+	for i := range p.gradWx {
+		p.gradWx[i] = 0
+		p.gradWy[i] = 0
+	}
+	p.wl.Gamma = p.gamma
+	p.wl.WirelengthAndGrad(p.gradWx, p.gradWy)
+	p.grid.Reset()
+	p.depositMovable()
+	for f := 0; f < p.activeFill; f++ {
+		cx := x[nm+f]
+		cy := x[off+nm+f]
+		p.grid.AddRect(geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH), 1)
+	}
+	p.grid.Solve()
+
+	sumW, sumD := 0.0, 0.0
+	for _, ci := range p.movable {
+		c := &p.D.Cells[ci]
+		fx, fy := p.grid.ForceOnRect(c.PaddedRect())
+		sumW += math.Abs(p.gradWx[ci]) + math.Abs(p.gradWy[ci])
+		sumD += math.Abs(fx) + math.Abs(fy)
+	}
+	if sumD > 0 {
+		p.lambda = sumW / sumD
+	} else {
+		p.lambda = 1
+	}
+}
+
+// retireFillers deactivates fillers to offset padArea of newly added cell
+// padding, keeping total charge roughly constant.
+func (p *Placer) retireFillers(padArea float64) {
+	if p.nFill == 0 || padArea <= 0 {
+		return
+	}
+	drop := int(padArea / (p.fillerW * p.fillerH))
+	p.activeFill -= drop
+	if p.activeFill < 0 {
+		p.activeFill = 0
+	}
+}
+
+// Run executes global placement until convergence, calling hook (if any)
+// every iteration. Final positions are written back to the design.
+func (p *Placer) Run(hook Hook) *Result {
+	res := &Result{}
+	if len(p.movable) == 0 {
+		return res
+	}
+	p.overflow = 1
+	p.updateGamma()
+	p.initLambda()
+
+	prevPadArea := p.D.TotalPaddingArea()
+	prevHPWL := p.D.HPWL()
+	bestOverflow := math.Inf(1)
+	bestIter := 0
+	for iter := 1; iter <= p.Cfg.MaxIters; iter++ {
+		p.overflow = p.computeOverflow()
+		p.updateGamma()
+
+		padded := false
+		if hook != nil {
+			padded = hook.OnIteration(iter, p.overflow)
+			if padded {
+				newPad := p.D.TotalPaddingArea()
+				p.retireFillers(newPad - prevPadArea)
+				prevPadArea = newPad
+				// The objective changed shape: re-balance the density
+				// penalty against the wirelength gradient and drop the
+				// stale Nesterov momentum, otherwise λ keeps compounding
+				// through the absorption phase and shreds the wirelength.
+				p.initLambda()
+				p.opt.Restart()
+			}
+		}
+
+		hpwl := p.D.HPWL()
+		if p.Cfg.Logf != nil && iter%50 == 0 {
+			p.Cfg.Logf("place: iter=%d overflow=%.4f hpwl=%.0f lambda=%.3g gamma=%.3g",
+				iter, p.overflow, hpwl, p.lambda, p.gamma)
+		}
+		res.Trace = append(res.Trace, IterStats{
+			Iter: iter, HPWL: hpwl, Overflow: p.overflow,
+			Lambda: p.lambda, Gamma: p.gamma, Padded: padded,
+		})
+		res.Iters = iter
+
+		if iter >= p.Cfg.MinIters && p.overflow <= p.Cfg.StopOverflow {
+			break
+		}
+		// Plateau detection: padding can make StopOverflow unreachable;
+		// once overflow stops improving, more iterations only let λ
+		// compound and shred the wirelength.
+		if p.overflow < bestOverflow*0.999 {
+			bestOverflow = p.overflow
+			bestIter = iter
+		}
+		if p.Cfg.PlateauIters > 0 && iter >= p.Cfg.MinIters && iter-bestIter >= p.Cfg.PlateauIters {
+			break
+		}
+		p.opt.Step(p.project)
+
+		// Adaptive penalty schedule: full LambdaMu growth while HPWL is
+		// steady, down to 1/LambdaMu when wirelength degrades faster than
+		// 3% per iteration (density force dominating). The 3% reference
+		// still lets the necessary spreading-phase HPWL growth happen.
+		ref := 0.03 * math.Max(hpwl, 1e-9)
+		arg := geom.Clamp(1-(hpwl-prevHPWL)/ref, -1, 1)
+		p.lambda *= math.Pow(p.Cfg.LambdaMu, arg)
+		prevHPWL = hpwl
+	}
+
+	p.writePositions(p.opt.Current())
+	res.HPWL = p.D.HPWL()
+	res.Overflow = p.overflow
+	return res
+}

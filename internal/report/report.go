@@ -1,0 +1,189 @@
+// Package report renders placement results as a self-contained HTML file:
+// an SVG plot of the die (macros, fences, movable cells colored by
+// padding), congestion heat maps, and the headline metrics. It gives the
+// framework the "open the result in a browser" workflow that placement
+// developers rely on.
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"os"
+	"strings"
+
+	"puffer/internal/cong"
+	"puffer/internal/netlist"
+	"puffer/internal/router"
+)
+
+// Options control the rendering.
+type Options struct {
+	// Title heads the report.
+	Title string
+	// PlotSize is the SVG width in pixels (height follows the aspect).
+	PlotSize int
+	// MaxCells caps how many movable cells are drawn (huge designs would
+	// produce unwieldy SVGs); cells are subsampled evenly beyond it.
+	MaxCells int
+}
+
+// DefaultOptions returns the standard rendering settings.
+func DefaultOptions() Options {
+	return Options{Title: "PUFFER placement report", PlotSize: 820, MaxCells: 20000}
+}
+
+// Write renders the design (and, if non-nil, the routing result) into an
+// HTML file at path.
+func Write(path string, d *netlist.Design, rr *router.Result, o Options) error {
+	if o.PlotSize <= 0 {
+		o = DefaultOptions()
+	}
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(o.Title))
+	b.WriteString(`<style>
+body { font-family: -apple-system, system-ui, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+td, th { border: 1px solid #ccc; padding: 0.25em 0.7em; text-align: right; }
+th { background: #f2f2f2; }
+.legend span { display: inline-block; margin-right: 1.2em; font-size: 0.9em; }
+.swatch { display: inline-block; width: 0.9em; height: 0.9em; margin-right: 0.3em; vertical-align: -0.1em; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(o.Title))
+
+	writeSummary(&b, d, rr)
+	writePlacementSVG(&b, d, o)
+	if rr != nil {
+		writeCongestion(&b, rr.Map)
+	}
+	b.WriteString("</body></html>\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func writeSummary(b *strings.Builder, d *netlist.Design, rr *router.Result) {
+	s := d.Stats()
+	b.WriteString("<h2>Design</h2>\n<table><tr><th>design</th><th>#macros</th><th>#cells</th><th>#nets</th><th>#pins</th><th>HPWL</th><th>padding area</th></tr>\n")
+	fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.0f</td><td>%.1f</td></tr></table>\n",
+		html.EscapeString(d.Name), s.Macros, s.Cells, s.Nets, s.Pins, d.HPWL(), d.TotalPaddingArea())
+	if rr == nil {
+		return
+	}
+	peak, ace := rr.Map.StandardACE()
+	b.WriteString("<h2>Routing</h2>\n<table><tr><th>HOF%</th><th>VOF%</th><th>routed WL</th><th>segments</th><th>ACE peak</th><th>ACE 0.5%</th><th>ACE 2%</th></tr>\n")
+	fmt.Fprintf(b, "<tr><td>%.2f</td><td>%.2f</td><td>%.0f</td><td>%d</td><td>%.3f</td><td>%.3f</td><td>%.3f</td></tr></table>\n",
+		rr.HOF, rr.VOF, rr.WL, rr.Segments, peak, ace[0], ace[2])
+}
+
+// padColor maps a padding amount (relative to the max) to a fill color.
+func padColor(frac float64) string {
+	// Light blue (unpadded) to deep orange (max padding).
+	r := int(70 + 185*frac)
+	g := int(130 - 60*frac)
+	bl := int(180 - 150*frac)
+	return fmt.Sprintf("rgb(%d,%d,%d)", r, g, bl)
+}
+
+func writePlacementSVG(b *strings.Builder, d *netlist.Design, o Options) {
+	w := float64(o.PlotSize)
+	scale := w / d.Region.W()
+	h := d.Region.H() * scale
+
+	maxPad := 0.0
+	movable := 0
+	for i := range d.Cells {
+		if !d.Cells[i].Fixed {
+			movable++
+			if d.Cells[i].PadW > maxPad {
+				maxPad = d.Cells[i].PadW
+			}
+		}
+	}
+	step := 1
+	if o.MaxCells > 0 && movable > o.MaxCells {
+		step = (movable + o.MaxCells - 1) / o.MaxCells
+	}
+
+	b.WriteString("<h2>Placement</h2>\n")
+	b.WriteString(`<div class="legend"><span><span class="swatch" style="background:#bbb"></span>macro</span>` +
+		`<span><span class="swatch" style="background:rgb(70,130,180)"></span>cell (no padding)</span>` +
+		`<span><span class="swatch" style="background:rgb(255,70,30)"></span>cell (max padding)</span>` +
+		`<span><span class="swatch" style="background:none;border:1px dashed #c33"></span>fence</span></div>` + "\n")
+	fmt.Fprintf(b, `<svg width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f" style="border:1px solid #999; background:#fdfdfd">`+"\n", w, h, w, h)
+
+	// y flips: SVG y grows downward.
+	tx := func(x float64) float64 { return (x - d.Region.Lo.X) * scale }
+	ty := func(y float64) float64 { return h - (y-d.Region.Lo.Y)*scale }
+
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Fixed {
+			continue
+		}
+		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#bbb" stroke="#888" stroke-width="0.5"/>`+"\n",
+			tx(c.X), ty(c.Y+c.H), c.W*scale, c.H*scale)
+	}
+	k := 0
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		k++
+		if step > 1 && k%step != 0 {
+			continue
+		}
+		frac := 0.0
+		if maxPad > 0 {
+			frac = c.PadW / maxPad
+		}
+		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.85"/>`+"\n",
+			tx(c.X), ty(c.Y+c.H), math.Max(c.W*scale, 0.6), math.Max(c.H*scale, 0.6), padColor(frac))
+	}
+	for _, f := range d.Fences {
+		fmt.Fprintf(b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="#c33" stroke-width="1.2" stroke-dasharray="4,3"/>`+"\n",
+			tx(f.Rect.Lo.X), ty(f.Rect.Hi.Y), f.Rect.W()*scale, f.Rect.H()*scale)
+	}
+	b.WriteString("</svg>\n")
+	if step > 1 {
+		fmt.Fprintf(b, "<p>(showing every %d-th of %d movable cells)</p>\n", step, movable)
+	}
+}
+
+// writeCongestion renders the H/V overflow maps as colored HTML grids (an
+// SVG per direction would be heavy for large grids; table cells compress
+// well and remain inspectable).
+func writeCongestion(b *strings.Builder, m *cong.Map) {
+	render := func(title string, overflow func(int) float64) {
+		maxV := 0.0
+		for i := 0; i < m.W*m.H; i++ {
+			maxV = math.Max(maxV, overflow(i))
+		}
+		fmt.Fprintf(b, "<h2>%s (max %.1f tracks)</h2>\n", html.EscapeString(title), maxV)
+		// Downsample to at most 64 columns for readability.
+		step := 1
+		for m.W/step > 64 || m.H/step > 64 {
+			step++
+		}
+		cell := 10
+		fmt.Fprintf(b, `<svg width="%d" height="%d">`+"\n", m.W/step*cell+cell, m.H/step*cell+cell)
+		for j := m.H - 1; j >= 0; j -= step {
+			for i := 0; i < m.W; i += step {
+				v := overflow(m.Index(i, j))
+				frac := 0.0
+				if maxV > 0 {
+					frac = v / maxV
+				}
+				red := int(255 * frac)
+				fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`,
+					i/step*cell, (m.H-1-j)/step*cell, cell, cell, 255, 255-red, 255-red)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("</svg>\n")
+	}
+	render("Horizontal overflow", m.OverflowH)
+	render("Vertical overflow", m.OverflowV)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"puffer"
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+	"puffer/internal/router"
+	"puffer/internal/synth"
+)
+
+func placedDesign(t *testing.T) (*netlist.Design, *router.Result) {
+	t.Helper()
+	p, err := synth.ProfileByName("OR1200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.Generate(p, 3000, 1)
+	d.Fences = append(d.Fences, netlist.Fence{
+		Name: "f", Rect: geom.RectWH(d.Region.Lo.X+2, d.Region.Lo.Y+2, 4, 3),
+	})
+	cfg := puffer.DefaultConfig()
+	cfg.Place.MaxIters = 150
+	if _, err := puffer.Run(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rr := puffer.Evaluate(d, router.DefaultConfig())
+	return d, rr
+}
+
+func TestWriteFullReport(t *testing.T) {
+	d, rr := placedDesign(t)
+	path := filepath.Join(t.TempDir(), "report.html")
+	if err := Write(path, d, rr, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<svg", "Placement", "Horizontal overflow",
+		"Vertical overflow", "HOF%", "ACE peak", "OR1200", "stroke-dasharray",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously small: %d bytes", len(out))
+	}
+}
+
+func TestWriteWithoutRouting(t *testing.T) {
+	d, _ := placedDesign(t)
+	path := filepath.Join(t.TempDir(), "report.html")
+	if err := Write(path, d, nil, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	out := string(data)
+	if strings.Contains(out, "Horizontal overflow") {
+		t.Error("routing section present without routing result")
+	}
+	if !strings.Contains(out, "Placement") {
+		t.Error("placement section missing")
+	}
+}
+
+func TestSubsampling(t *testing.T) {
+	d, _ := placedDesign(t)
+	o := DefaultOptions()
+	o.MaxCells = 5
+	path := filepath.Join(t.TempDir(), "small.html")
+	if err := Write(path, d, nil, o); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if !strings.Contains(string(data), "movable cells)") {
+		t.Error("subsampling note missing")
+	}
+}
+
+func TestPadColorRange(t *testing.T) {
+	for _, f := range []float64{0, 0.5, 1} {
+		c := padColor(f)
+		if !strings.HasPrefix(c, "rgb(") {
+			t.Errorf("padColor(%v) = %q", f, c)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package router
+
+import (
+	"math"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// LayerAssignment is the 3-D view of a routed result: every Gcell boundary
+// crossing of every path assigned to a specific metal layer of the correct
+// preferred direction, with via counts for the inter-layer transitions.
+// This extends the paper's 2-D evaluation the way production global
+// routers report congestion (per-layer maps and via totals).
+type LayerAssignment struct {
+	Layers []netlist.Layer
+	W, H   int
+
+	// Dmd[l] is the per-Gcell demand (tracks) assigned to layer l.
+	Dmd [][]float64
+	// Cap[l] is the per-Gcell capacity of layer l (blockage-aware).
+	Cap [][]float64
+
+	// Vias is the per-Gcell via count; TotalVias sums it.
+	Vias      []float64
+	TotalVias float64
+
+	// OverflowByLayer is the total overflowed demand per layer.
+	OverflowByLayer []float64
+}
+
+// AssignLayers distributes the routed paths of res over the design's metal
+// stack. Each crossing is placed greedily on the lowest same-direction
+// layer with free capacity at that Gcell (falling back to the least
+// overloaded); vias are charged for every layer change along a path and
+// for the pin escape to the first segment layer.
+func AssignLayers(d *netlist.Design, res *Result) *LayerAssignment {
+	m := res.Map
+	la := &LayerAssignment{
+		Layers: d.Layers,
+		W:      m.W, H: m.H,
+		Vias:            make([]float64, m.W*m.H),
+		OverflowByLayer: make([]float64, len(d.Layers)),
+	}
+	size := m.W * m.H
+	la.Dmd = make([][]float64, len(d.Layers))
+	la.Cap = make([][]float64, len(d.Layers))
+	for l := range d.Layers {
+		la.Dmd[l] = make([]float64, size)
+		la.Cap[l] = make([]float64, size)
+	}
+
+	// Per-layer, per-Gcell capacity: tracks from the pitch minus blocked
+	// tracks (same model as cong.NewMap, split by layer).
+	for l, layer := range d.Layers {
+		var base float64
+		if layer.Dir == netlist.Horizontal {
+			base = m.GH / layer.Pitch()
+		} else {
+			base = m.GW / layer.Pitch()
+		}
+		for i := range la.Cap[l] {
+			la.Cap[l][i] = base
+		}
+	}
+	for _, b := range d.Blockages {
+		layer := d.Layers[b.Layer]
+		r := b.Rect.Intersect(d.Region)
+		if r.Empty() {
+			continue
+		}
+		i0 := geom.ClampInt(int((r.Lo.X-m.Region.Lo.X)/m.GW), 0, m.W-1)
+		i1 := geom.ClampInt(int(math.Ceil((r.Hi.X-m.Region.Lo.X)/m.GW)), i0+1, m.W)
+		j0 := geom.ClampInt(int((r.Lo.Y-m.Region.Lo.Y)/m.GH), 0, m.H-1)
+		j1 := geom.ClampInt(int(math.Ceil((r.Hi.Y-m.Region.Lo.Y)/m.GH)), j0+1, m.H)
+		for j := j0; j < j1; j++ {
+			y0 := m.Region.Lo.Y + float64(j)*m.GH
+			oy := geom.Interval{Lo: y0, Hi: y0 + m.GH}.Overlap(geom.Interval{Lo: r.Lo.Y, Hi: r.Hi.Y})
+			for i := i0; i < i1; i++ {
+				x0 := m.Region.Lo.X + float64(i)*m.GW
+				ox := geom.Interval{Lo: x0, Hi: x0 + m.GW}.Overlap(geom.Interval{Lo: r.Lo.X, Hi: r.Hi.X})
+				if ox <= 0 || oy <= 0 {
+					continue
+				}
+				idx := j*m.W + i
+				var blocked float64
+				if layer.Dir == netlist.Horizontal {
+					blocked = (oy / layer.Pitch()) * (ox / m.GW)
+				} else {
+					blocked = (ox / layer.Pitch()) * (oy / m.GH)
+				}
+				la.Cap[b.Layer][idx] = math.Max(0, la.Cap[b.Layer][idx]-blocked)
+			}
+		}
+	}
+
+	// Candidate layers per direction, bottom-up (lower layers preferred:
+	// shorter via stacks from the pins).
+	var hLayers, vLayers []int
+	for l, layer := range d.Layers {
+		if layer.Dir == netlist.Horizontal {
+			hLayers = append(hLayers, l)
+		} else {
+			vLayers = append(vLayers, l)
+		}
+	}
+
+	pick := func(cands []int, idx int) int {
+		if len(cands) == 0 {
+			return -1
+		}
+		best := cands[0]
+		bestScore := math.Inf(1)
+		for _, l := range cands {
+			free := la.Cap[l][idx] - la.Dmd[l][idx]
+			if free > 0.5 {
+				return l // lowest layer with room
+			}
+			// Otherwise remember the least overloaded.
+			if score := -free; score < bestScore {
+				bestScore = score
+				best = l
+			}
+		}
+		return best
+	}
+
+	for _, path := range res.Paths {
+		prevLayer := -1
+		for k := 1; k < len(path); k++ {
+			a, b := int(path[k-1]), int(path[k])
+			horiz := abs(a-b) == 1
+			cands := vLayers
+			if horiz {
+				cands = hLayers
+			}
+			l := pick(cands, b)
+			if l < 0 {
+				continue
+			}
+			la.Dmd[l][a] += 0.5
+			la.Dmd[l][b] += 0.5
+			if prevLayer >= 0 && prevLayer != l {
+				hops := float64(abs(prevLayer - l))
+				la.Vias[a] += hops
+				la.TotalVias += hops
+			} else if prevLayer < 0 {
+				// Pin escape from M1 up to the first routing layer.
+				la.Vias[a] += float64(l)
+				la.TotalVias += float64(l)
+			}
+			prevLayer = l
+		}
+		if prevLayer > 0 {
+			// Sink pin escape back down to M1.
+			idx := int(path[len(path)-1])
+			la.Vias[idx] += float64(prevLayer)
+			la.TotalVias += float64(prevLayer)
+		}
+	}
+
+	for l := range la.Dmd {
+		for i := range la.Dmd[l] {
+			if over := la.Dmd[l][i] - la.Cap[l][i]; over > 0 {
+				la.OverflowByLayer[l] += over
+			}
+		}
+	}
+	return la
+}
+
+// Utilization returns the average demand/capacity ratio of layer l.
+func (la *LayerAssignment) Utilization(l int) float64 {
+	var dmd, cp float64
+	for i := range la.Dmd[l] {
+		dmd += la.Dmd[l][i]
+		cp += la.Cap[l][i]
+	}
+	if cp <= 0 {
+		return 0
+	}
+	return dmd / cp
+}

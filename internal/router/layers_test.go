@@ -1,0 +1,155 @@
+package router
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+func routedResult(t *testing.T, d *netlist.Design) *Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.GridW, cfg.GridH = 32, 32
+	return Route(d, cfg)
+}
+
+func TestAssignLayersConservesDemand(t *testing.T) {
+	d := testDesign()
+	rng := rand.New(rand.NewSource(5))
+	var ids []int
+	for k := 0; k < 30; k++ {
+		ids = append(ids, d.AddCell(netlist.Cell{
+			W: 1, H: 1, X: rng.Float64() * 63, Y: rng.Float64() * 63,
+		}))
+	}
+	for k := 0; k+1 < len(ids); k += 2 {
+		n := d.AddNet("", 1)
+		d.Connect(ids[k], n, 0.5, 0.5)
+		d.Connect(ids[k+1], n, 0.5, 0.5)
+	}
+	res := routedResult(t, d)
+	la := AssignLayers(d, res)
+
+	// Per-layer demand sums to the 2-D wire demand (excluding pin cost).
+	var layered, flatH, flatV float64
+	for l, layer := range d.Layers {
+		for _, v := range la.Dmd[l] {
+			layered += v
+		}
+		_ = layer
+	}
+	for i := range res.Map.DmdH {
+		flatH += res.Map.DmdH[i]
+		flatV += res.Map.DmdV[i]
+	}
+	pinDemand := float64(len(d.Pins)) * DefaultConfig().PinCost * 2
+	if math.Abs(layered-(flatH+flatV-pinDemand)) > 1e-6 {
+		t.Errorf("layered demand %v != flat wire demand %v", layered, flatH+flatV-pinDemand)
+	}
+}
+
+func TestAssignLayersDirections(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 4, Y: 4})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 4})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	res := routedResult(t, d)
+	la := AssignLayers(d, res)
+	// A straight horizontal route must land only on horizontal layers.
+	for l, layer := range d.Layers {
+		total := 0.0
+		for _, v := range la.Dmd[l] {
+			total += v
+		}
+		if layer.Dir == netlist.Vertical && total > 0 {
+			t.Errorf("vertical layer %d got %v demand from a horizontal route", l, total)
+		}
+	}
+	// A straight route fits entirely on M1: pin escapes are free and no
+	// layer changes happen.
+	if la.TotalVias != 0 {
+		t.Errorf("TotalVias = %v, want 0 for an M1-only route", la.TotalVias)
+	}
+}
+
+func TestAssignLayersSpillsToUpperLayers(t *testing.T) {
+	// Many parallel horizontal routes through one row: the first layer
+	// fills up and demand must spill upward.
+	d := testDesign()
+	for k := 0; k < 40; k++ {
+		a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 4, Y: 30})
+		b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 30})
+		n := d.AddNet("", 1)
+		d.Connect(a, n, 0.5, 0.5)
+		d.Connect(b, n, 0.5, 0.5)
+	}
+	res := routedResult(t, d)
+	la := AssignLayers(d, res)
+	used := 0
+	for l, layer := range d.Layers {
+		if layer.Dir != netlist.Horizontal {
+			continue
+		}
+		total := 0.0
+		for _, v := range la.Dmd[l] {
+			total += v
+		}
+		if total > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("only %d horizontal layers used despite saturation", used)
+	}
+}
+
+func TestAssignLayersViasCountBends(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 4, Y: 4})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 50})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	res := routedResult(t, d)
+	la := AssignLayers(d, res)
+	// An L-path changes direction at least once: M1→M2 at the bend plus
+	// the sink escape down from M2.
+	if la.TotalVias < 2 {
+		t.Errorf("TotalVias = %v, want >= 2 for an L route", la.TotalVias)
+	}
+}
+
+func TestAssignLayersBlockageReducesCapacity(t *testing.T) {
+	d := testDesign()
+	d.Blockages = append(d.Blockages, netlist.Blockage{
+		Rect: geom.RectWH(0, 0, 64, 64), Layer: 0,
+	})
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 4, Y: 4})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 50, Y: 4})
+	n := d.AddNet("n", 1)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	res := routedResult(t, d)
+	la := AssignLayers(d, res)
+	for i, v := range la.Cap[0] {
+		if v != 0 {
+			t.Fatalf("blocked layer 0 capacity at %d = %v", i, v)
+		}
+	}
+	// The route went to an unblocked horizontal layer.
+	total0 := 0.0
+	for _, v := range la.Dmd[0] {
+		total0 += v
+	}
+	if total0 > 0 {
+		t.Error("demand assigned to fully blocked layer")
+	}
+	if u := la.Utilization(2); u <= 0 {
+		t.Errorf("expected M3 utilization > 0, got %v", u)
+	}
+}

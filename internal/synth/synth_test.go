@@ -1,0 +1,180 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"puffer/internal/netlist"
+)
+
+func TestAllProfilesGenerateValidDesigns(t *testing.T) {
+	for _, p := range Profiles {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			d := Generate(p, 800, 1)
+			if err := d.Validate(); err != nil {
+				t.Fatalf("invalid design: %v", err)
+			}
+			s := d.Stats()
+			if s.Cells == 0 || s.Nets == 0 || s.Pins == 0 {
+				t.Fatalf("degenerate stats: %+v", s)
+			}
+			if s.Macros == 0 {
+				t.Error("no macros generated")
+			}
+		})
+	}
+}
+
+func TestCountsTrackProfile(t *testing.T) {
+	p, err := ProfileByName("BIT_COIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 400
+	d := Generate(p, scale, 7)
+	s := d.Stats()
+	wantCells := p.Cells / scale
+	if s.Cells != wantCells {
+		t.Errorf("cells = %d, want %d", s.Cells, wantCells)
+	}
+	wantNets := p.Nets / scale
+	if s.Nets != wantNets {
+		t.Errorf("nets = %d, want %d", s.Nets, wantNets)
+	}
+	wantPins := p.Pins / scale
+	if math.Abs(float64(s.Pins-wantPins)) > 0.1*float64(wantPins) {
+		t.Errorf("pins = %d, want within 10%% of %d", s.Pins, wantPins)
+	}
+	// Pins-per-net ratio tracks the paper's (≈4.15 for BIT_COIN).
+	ratio := float64(s.Pins) / float64(s.Nets)
+	paper := float64(p.Pins) / float64(p.Nets)
+	if math.Abs(ratio-paper) > 0.6 {
+		t.Errorf("pins/net = %.2f, paper %.2f", ratio, paper)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Profiles[0]
+	a := Generate(p, 800, 42)
+	b := Generate(p, 800, 42)
+	if len(a.Cells) != len(b.Cells) || len(a.Pins) != len(b.Pins) {
+		t.Fatal("different sizes for same seed")
+	}
+	for i := range a.Cells {
+		if a.Cells[i].X != b.Cells[i].X || a.Cells[i].W != b.Cells[i].W {
+			t.Fatalf("cell %d differs", i)
+		}
+	}
+	c := Generate(p, 800, 43)
+	same := true
+	for i := range a.Pins {
+		if i < len(c.Pins) && (a.Pins[i].Cell != c.Pins[i].Cell) {
+			same = false
+			break
+		}
+	}
+	if same && len(a.Pins) == len(c.Pins) {
+		t.Error("different seeds produced identical netlists")
+	}
+}
+
+func TestMacrosDoNotOverlap(t *testing.T) {
+	for _, name := range []string{"OPENC910", "A53_ADB_WRAP", "MEDIA_SUBSYS"} {
+		p, _ := ProfileByName(name)
+		d := Generate(p, 400, 3)
+		var macros []int
+		for i := range d.Cells {
+			if d.Cells[i].Macro {
+				macros = append(macros, i)
+			}
+		}
+		for a := 0; a < len(macros); a++ {
+			ra := d.Cells[macros[a]].Rect()
+			if ra.Intersect(d.Region).Area() < ra.Area()-1e-6 {
+				t.Errorf("%s: macro %d sticks out of the region", name, a)
+			}
+			for b := a + 1; b < len(macros); b++ {
+				rb := d.Cells[macros[b]].Rect()
+				if ov := ra.OverlapArea(rb); ov > 1e-9 {
+					t.Errorf("%s: macros %d and %d overlap by %v", name, a, b, ov)
+				}
+			}
+		}
+	}
+}
+
+func TestUtilizationReasonable(t *testing.T) {
+	p, _ := ProfileByName("CT_TOP")
+	d := Generate(p, 400, 5)
+	s := d.Stats()
+	util := s.CellArea / s.FreeArea
+	if util < 0.4 || util > 0.95 {
+		t.Errorf("utilization = %.2f, want in [0.4, 0.95]", util)
+	}
+}
+
+func TestLocalityAffectsNetSpan(t *testing.T) {
+	span := func(loc float64) float64 {
+		p := Profiles[0]
+		p.Locality = loc
+		d := Generate(p, 400, 9)
+		// Net span in cell-index space (cells are generated in cluster
+		// order, so index distance is the locality proxy).
+		total, n := 0.0, 0
+		for i := range d.Nets {
+			pins := d.Nets[i].Pins
+			if len(pins) < 2 {
+				continue
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, pid := range pins {
+				v := float64(d.Pins[pid].Cell)
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			total += hi - lo
+			n++
+		}
+		return total / float64(n)
+	}
+	tight := span(0.95)
+	loose := span(0.2)
+	if tight >= loose {
+		t.Errorf("high locality span %v >= low locality span %v", tight, loose)
+	}
+}
+
+func TestStressAddsBlockage(t *testing.T) {
+	hi, _ := ProfileByName("MEDIA_SUBSYS")
+	lo, _ := ProfileByName("MEDIA_PG_MODIFY")
+	dHi := Generate(hi, 400, 11)
+	dLo := Generate(lo, 400, 11)
+	area := func(d *netlist.Design) float64 {
+		a := 0.0
+		for _, b := range d.Blockages {
+			a += b.Rect.Area()
+		}
+		return a / d.Region.Area()
+	}
+	if area(dHi) <= area(dLo) {
+		t.Errorf("stressed profile blockage %v <= relaxed %v", area(dHi), area(dLo))
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("NOPE"); err == nil {
+		t.Error("no error for unknown profile")
+	}
+}
+
+func TestTinyScaleClamps(t *testing.T) {
+	d := Generate(Profiles[0], 1_000_000, 1)
+	s := d.Stats()
+	if s.Cells < 60 || s.Nets < 50 {
+		t.Errorf("floors not applied: %+v", s)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package wirelength
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLSEOverestimatesHPWL(t *testing.T) {
+	d := randomDesign(21, 30, 40)
+	m := New(d, 2.0)
+	m.Kind = LSE
+	lse := m.Wirelength()
+	hpwl := d.HPWL()
+	if lse < hpwl-1e-9 {
+		t.Errorf("LSE %v < HPWL %v (must overestimate)", lse, hpwl)
+	}
+}
+
+func TestLSEConvergesToHPWLFromAbove(t *testing.T) {
+	d := randomDesign(22, 20, 25)
+	hpwl := d.HPWL()
+	prevErr := math.Inf(1)
+	for _, gamma := range []float64{8, 2, 0.5, 0.05} {
+		m := New(d, gamma)
+		m.Kind = LSE
+		err := m.Wirelength() - hpwl
+		if err < -1e-9 {
+			t.Fatalf("gamma=%v: LSE below HPWL by %v", gamma, -err)
+		}
+		if err > prevErr+1e-9 {
+			t.Errorf("gamma=%v: error %v did not shrink from %v", gamma, err, prevErr)
+		}
+		prevErr = err
+	}
+	if prevErr > 0.02*hpwl {
+		t.Errorf("at gamma=0.05 LSE still off by %v of HPWL %v", prevErr, hpwl)
+	}
+}
+
+func TestLSEGradientMatchesFiniteDifference(t *testing.T) {
+	d := randomDesign(23, 10, 15)
+	m := New(d, 1.5)
+	m.Kind = LSE
+	gx := make([]float64, len(d.Cells))
+	gy := make([]float64, len(d.Cells))
+	m.WirelengthAndGrad(gx, gy)
+
+	const h = 1e-5
+	for c := 0; c < len(d.Cells); c++ {
+		orig := d.Cells[c].X
+		d.Cells[c].X = orig + h
+		up := m.Wirelength()
+		d.Cells[c].X = orig - h
+		down := m.Wirelength()
+		d.Cells[c].X = orig
+		want := (up - down) / (2 * h)
+		if math.Abs(gx[c]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Errorf("cell %d: dW/dx = %v, finite diff %v", c, gx[c], want)
+		}
+	}
+}
+
+func TestWAAndLSEBracketHPWL(t *testing.T) {
+	d := randomDesign(24, 25, 30)
+	hpwl := d.HPWL()
+	wa := New(d, 1.0)
+	lse := New(d, 1.0)
+	lse.Kind = LSE
+	lo, hi := wa.Wirelength(), lse.Wirelength()
+	if !(lo <= hpwl+1e-9 && hpwl <= hi+1e-9) {
+		t.Errorf("HPWL %v not bracketed by WA %v and LSE %v", hpwl, lo, hi)
+	}
+}
+
+func TestLSETranslationInvariance(t *testing.T) {
+	d := randomDesign(25, 15, 20)
+	m := New(d, 0.7)
+	m.Kind = LSE
+	w0 := m.Wirelength()
+	for i := range d.Cells {
+		d.Cells[i].X += 1e7
+		d.Cells[i].Y += 1e7
+	}
+	w1 := m.Wirelength()
+	if math.IsNaN(w1) || math.Abs(w1-w0) > 1e-6*w0 {
+		t.Errorf("LSE changed under translation: %v -> %v", w0, w1)
+	}
+}

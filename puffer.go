@@ -1,0 +1,167 @@
+// Package puffer is the public API of the PUFFER routability-driven
+// placement framework (Cai et al., DAC 2023 — "PUFFER: A Routability-
+// Driven Placement Framework via Cell Padding with Multiple Features and
+// Strategy Exploration").
+//
+// The flow (paper Fig. 2) has three stages:
+//
+//  1. Global placement on an electrostatic engine (ePlace-style Nesterov
+//     iterations with WA wirelength and a spectral density solve).
+//  2. A routability optimizer, triggered while cells spread, that
+//     estimates congestion by imitating routing detours and clustered-cell
+//     spreading, extracts local / CNN-inspired / GNN-inspired features,
+//     and pads cells with recycling and utilization control.
+//  3. White-space-assisted legalization that inherits the padding,
+//     discretized to whole sites, then legalizes with an Abacus-based
+//     algorithm.
+//
+// Strategy parameters can be hand-set (padding.DefaultStrategy) or
+// searched with the Bayesian strategy exploration in internal/explore via
+// ExploreStrategy. Placements are judged by the built-in evaluation
+// global router (Evaluate), which reports the HOF/VOF/WL metrics of the
+// paper's Table II.
+package puffer
+
+import (
+	"fmt"
+	"time"
+
+	"puffer/internal/dp"
+	"puffer/internal/geom"
+	"puffer/internal/legal"
+	"puffer/internal/netlist"
+	"puffer/internal/padding"
+	"puffer/internal/place"
+	"puffer/internal/router"
+)
+
+// Config configures the full PUFFER flow.
+type Config struct {
+	// Place configures the global placement engine.
+	Place place.Config
+	// Strategy bundles every routability-optimizer strategy parameter.
+	Strategy padding.Strategy
+	// Legal configures the legalization stage.
+	Legal legal.Config
+	// DP configures the post-legalization detailed placement; PUFFER runs
+	// it padding-preserving so the injected white space survives.
+	DP dp.Config
+	// CongGridW/H size the congestion estimation Gcell grid; zero picks
+	// roughly two placement rows per Gcell.
+	CongGridW, CongGridH int
+	// Logf, when non-nil, receives stage-by-stage progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the paper-faithful defaults.
+func DefaultConfig() Config {
+	dcfg := dp.DefaultConfig()
+	dcfg.PreservePadding = true
+	dcfg.Passes = 2
+	dcfg.WindowSites = 100
+	return Config{
+		Place:    place.DefaultConfig(),
+		Strategy: padding.DefaultStrategy(),
+		Legal:    legal.DefaultConfig(),
+		DP:       dcfg,
+	}
+}
+
+// Result reports a finished PUFFER run.
+type Result struct {
+	HPWL        float64      // legalized half-perimeter wirelength
+	GP          place.Result // global placement summary
+	Legal       legal.Result
+	DP          dp.Result
+	PaddingRuns []padding.RunInfo
+	PaddingArea float64
+	Runtime     time.Duration
+	StageLog    []string // Fig. 2 flow trace
+}
+
+// CongGridFor picks the default congestion/routing grid for a design:
+// roughly two placement rows per Gcell, clamped to a practical range.
+func CongGridFor(d *netlist.Design) (int, int) {
+	rh := d.RowHeight
+	if rh <= 0 {
+		rh = 1
+	}
+	w := geom.ClampInt(int(d.Region.W()/(2*rh)), 16, 512)
+	h := geom.ClampInt(int(d.Region.H()/(2*rh)), 16, 512)
+	return w, h
+}
+
+// Run executes the full PUFFER flow on d, mutating cell positions and
+// padding in place.
+func Run(d *netlist.Design, cfg Config) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	log := func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		res.StageLog = append(res.StageLog, line)
+		if cfg.Logf != nil {
+			cfg.Logf("%s", line)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("puffer: %w", err)
+	}
+	gw, gh := cfg.CongGridW, cfg.CongGridH
+	if gw == 0 || gh == 0 {
+		gw, gh = CongGridFor(d)
+	}
+
+	log("stage: global placement (engine=ePlace/Nesterov, grid auto)")
+	opt := padding.NewOptimizer(d, gw, gh, cfg.Strategy)
+	placer := place.New(d, cfg.Place)
+	hook := place.HookFunc(func(iter int, overflow float64) bool {
+		if !opt.ShouldTrigger(iter, overflow) {
+			return false
+		}
+		info := opt.Run()
+		res.PaddingRuns = append(res.PaddingRuns, info)
+		log("stage: routability optimizer call %d at GP iter %d (overflow=%.3f): padded=%d recycled=%d util=%.3f/%.3f estHOF=%.2f%% estVOF=%.2f%%",
+			info.Iter, iter, overflow, info.PaddedCells, info.Recycled,
+			info.Utilization, info.TargetUtil, info.EstHOF, info.EstVOF)
+		return true
+	})
+	gp := placer.Run(hook)
+	res.GP = *gp
+	log("stage: global placement done (iters=%d overflow=%.3f hpwl=%.0f)", gp.Iters, gp.Overflow, gp.HPWL)
+
+	log("stage: white-space-assisted legalization (theta=%.1f cap=%.0f%%)",
+		cfg.Strategy.Theta, 100*cfg.Legal.MaxUtil)
+	lcfg := cfg.Legal
+	lcfg.Theta = cfg.Strategy.Theta
+	lres, err := legal.Legalize(d, lcfg)
+	if err != nil {
+		return nil, fmt.Errorf("puffer: legalization: %w", err)
+	}
+	res.Legal = lres
+	log("stage: legalization done (avg disp=%.3f, padding sites=%d)",
+		lres.AvgDisplacement, lres.PaddingSites)
+
+	if cfg.DP.Passes > 0 {
+		dres, err := dp.Refine(d, cfg.DP)
+		if err != nil {
+			return nil, fmt.Errorf("puffer: detailed placement: %w", err)
+		}
+		res.DP = dres
+		log("stage: detailed placement done (moves=%d swaps=%d hpwl %.0f -> %.0f, padding preserved=%v)",
+			dres.Moves, dres.Swaps, dres.HPWLBefore, dres.HPWLAfter, cfg.DP.PreservePadding)
+	}
+	res.HPWL = d.HPWL()
+	res.PaddingArea = d.TotalPaddingArea()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// Evaluate routes the placed design with the evaluation global router and
+// returns its congestion report (HOF%, VOF%, routed wirelength) — the
+// stand-in for the commercial global router of the paper's Sec. IV.
+func Evaluate(d *netlist.Design, cfg router.Config) *router.Result {
+	return router.Route(d, cfg)
+}
+
+// EvalConfig returns the default evaluation-router configuration.
+func EvalConfig() router.Config { return router.DefaultConfig() }
