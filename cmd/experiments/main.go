@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,14 +39,21 @@ func main() {
 		iters    = flag.Int("iters", 0, "max GP iterations (0 = default)")
 		pgmDir   = flag.String("pgm", "", "write Fig-5 maps as PGM images into this directory")
 		subset   = flag.String("designs", "", "comma-separated design subset for Table II")
+		timeout  = flag.Duration("timeout", 0, "abort the experiment run after this duration (0 = none)")
 	)
 	flag.Parse()
 	if !(*all || *table1 || *table2 || *fig1 || *fig2 || *fig3 || *fig4 || *fig5 || *ablat || *sweep) {
 		*all = true
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	o := experiments.Options{
-		Scale: *scale, Seed: *seed, PlaceIters: *iters, Parallel: *parallel,
+		Scale: *scale, Seed: *seed, PlaceIters: *iters, Parallel: *parallel, Ctx: ctx,
 		Logf: func(format string, args ...any) { log.Printf(format, args...) },
 	}
 	if *subset != "" {

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,12 +23,13 @@ import (
 
 func main() {
 	var (
-		design = flag.String("design", "OR1200", "small profile to tune on")
-		scale  = flag.Int("scale", 4000, "profile scale divisor (keep it small: every observation is a full place+route)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		budget = flag.Int("budget", 15, "evaluations per parameter-exploration call (TC of Algorithm 2)")
-		iters  = flag.Int("iters", 250, "max GP iterations per evaluation")
-		out    = flag.String("out", "", "write the best-observed strategy as JSON to this file")
+		design  = flag.String("design", "OR1200", "small profile to tune on")
+		scale   = flag.Int("scale", 4000, "profile scale divisor (keep it small: every observation is a full place+route)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		budget  = flag.Int("budget", 15, "evaluations per parameter-exploration call (TC of Algorithm 2)")
+		iters   = flag.Int("iters", 250, "max GP iterations per evaluation")
+		out     = flag.String("out", "", "write the best-observed strategy as JSON to this file")
+		timeout = flag.Duration("timeout", 0, "abort the exploration after this duration, keeping the best strategies found (0 = none)")
 	)
 	flag.Parse()
 
@@ -42,8 +45,20 @@ func main() {
 	pcfg.MaxIters = *iters
 	pcfg.Seed = *seed
 
-	final, best, n := puffer.ExploreStrategy(d, pcfg, *budget, *seed,
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	final, best, n, err := puffer.ExploreStrategyCtx(ctx, d, pcfg, *budget, *seed,
 		func(format string, args ...any) { log.Printf(format, args...) })
+	if err != nil {
+		if !errors.Is(err, puffer.ErrCanceled) {
+			log.Fatal(err)
+		}
+		fmt.Println("exploration timed out; reporting best strategies found so far")
+	}
 
 	fmt.Printf("\n%d observations made\n", n)
 	report := func(name string, st any) { fmt.Printf("\n%s strategy:\n%+v\n", name, st) }

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +31,7 @@ import (
 	"puffer/internal/report"
 	"puffer/internal/router"
 	"puffer/internal/synth"
+	"puffer/pipeline"
 )
 
 func main() {
@@ -47,6 +50,9 @@ func main() {
 		trace    = flag.String("trace", "", "write the global-placement iteration trace (CSV) to this file")
 		htmlOut  = flag.String("report", "", "write an HTML placement/congestion report to this file")
 		strategy = flag.String("strategy", "", "JSON strategy file from cmd/explore -out")
+		timeout  = flag.Duration("timeout", 0, "abort the PUFFER flow after this duration (0 = none)")
+		ckpt     = flag.String("checkpoint", "", "write a flow checkpoint (JSON) to this file after each stage")
+		resume   = flag.String("resume", "", "resume the flow from a checkpoint written by -checkpoint")
 		list     = flag.Bool("list", false, "list the synthetic benchmark profiles and exit")
 		verbose  = flag.Bool("v", false, "verbose progress")
 	)
@@ -89,6 +95,13 @@ func main() {
 		logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	gw, gh := puffer.CongGridFor(d)
 	switch *placer {
@@ -107,10 +120,42 @@ func main() {
 			cfg.Strategy = s
 			cfg.Legal.Theta = s.Theta
 		}
-		res, err := puffer.Run(d, cfg)
+		rc, err := pipeline.NewRunContext(d, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
+		pl := pipeline.New()
+		if *ckpt != "" {
+			pl.Checkpointer = func(cp *pipeline.Checkpoint) error { return cp.Save(*ckpt) }
+		}
+		if *resume != "" {
+			cp, err := pipeline.LoadCheckpoint(*resume)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("resuming after stage %q from %s\n", cp.Stage, *resume)
+			err = pl.Resume(ctx, rc, cp)
+			reportStages(rc.Result.Stages)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			err = pl.Run(ctx, rc)
+			reportStages(rc.Result.Stages)
+			if err != nil {
+				if errors.Is(err, pipeline.ErrCanceled) {
+					var se *pipeline.StageError
+					stage := "?"
+					if errors.As(err, &se) {
+						stage = se.Stage
+					}
+					log.Fatalf("flow timed out during stage %q after %s (design left valid; HPWL=%.0f)",
+						stage, time.Since(start).Round(time.Millisecond), rc.Result.HPWL)
+				}
+				log.Fatal(err)
+			}
+		}
+		res := rc.Result
 		fmt.Printf("PUFFER: GP iters=%d overflow=%.3f, %d padding rounds, legal avg disp=%.3f, HPWL=%.0f\n",
 			res.GP.Iters, res.GP.Overflow, len(res.PaddingRuns), res.Legal.AvgDisplacement, res.HPWL)
 		if *trace != "" {
@@ -223,5 +268,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("placed design written to %s\n", auxPath)
+	}
+}
+
+// reportStages prints the per-stage pipeline statistics.
+func reportStages(stages []pipeline.StageStats) {
+	for _, st := range stages {
+		fmt.Printf("stage %-10s %10s  iters=%-8d allocs=%d\n",
+			st.Name, st.Wall.Round(time.Microsecond), st.Iters, st.AllocsDelta)
 	}
 }

@@ -9,10 +9,12 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"puffer/internal/flow"
 	"puffer/internal/geom"
 	"puffer/internal/netlist"
 )
@@ -38,6 +40,7 @@ func DefaultConfig() Config {
 type Result struct {
 	Moves      int
 	Swaps      int
+	Passes     int // full move+swap sweeps actually executed
 	HPWLBefore float64
 	HPWLAfter  float64
 }
@@ -52,6 +55,15 @@ type rowCell struct {
 // Refine improves HPWL in place. The design must already be legalized; the
 // result stays legal (row-aligned, site-aligned, overlap-free).
 func Refine(d *netlist.Design, cfg Config) (Result, error) {
+	return RefineCtx(context.Background(), d, cfg)
+}
+
+// RefineCtx is Refine with cancellation: the context is checked before
+// each full move+swap pass. Every pass leaves the design legal, so a
+// canceled refinement returns the partial Result (with HPWLAfter of the
+// completed passes) plus an error wrapping flow.ErrCanceled, and the
+// design remains a valid legalized placement.
+func RefineCtx(ctx context.Context, d *netlist.Design, cfg Config) (Result, error) {
 	res := Result{HPWLBefore: d.HPWL(), HPWLAfter: 0}
 	if cfg.Passes <= 0 {
 		res.HPWLAfter = res.HPWLBefore
@@ -103,6 +115,11 @@ func Refine(d *netlist.Design, cfg Config) (Result, error) {
 
 	window := float64(cfg.WindowSites) * siteW
 	for pass := 0; pass < cfg.Passes; pass++ {
+		if err := flow.Check(ctx); err != nil {
+			res.HPWLAfter = d.HPWL()
+			return res, err
+		}
+		res.Passes++
 		moves, swaps := 0, 0
 		// Phase 1: slide each cell toward its HPWL-optimal x within its
 		// row's free span around it.

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"puffer"
 	"puffer/internal/baseline"
+	"puffer/internal/flow"
 	"puffer/internal/netlist"
 	"puffer/internal/par"
 	"puffer/internal/place"
@@ -38,6 +40,10 @@ type Options struct {
 	// column becomes noisy under contention, so runtime claims should use
 	// sequential runs.
 	Parallel bool
+	// Ctx, when non-nil, bounds the whole experiment run: PUFFER flows
+	// observe it within one iteration and the Table-II grid stops
+	// scheduling new cells once it is canceled. Nil means background.
+	Ctx context.Context
 	// Logf receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -51,6 +57,13 @@ func (o Options) log(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) profiles() []synth.Profile {
@@ -173,7 +186,7 @@ func runOne(d *netlist.Design, placer PlacerName, o Options) (Table2Row, error) 
 	case PUFFER:
 		cfg := puffer.DefaultConfig()
 		cfg.Place = pcfg
-		if _, err := puffer.Run(d, cfg); err != nil {
+		if _, err := puffer.RunCtx(o.ctx(), d, cfg); err != nil {
 			return row, err
 		}
 	default:
@@ -200,30 +213,31 @@ func Table2(o Options) ([]Table2Row, []Table2Summary, error) {
 		}
 	}
 	rows := make([]Table2Row, len(tasks))
-	errs := make([]error, len(tasks))
-	run := func(i int) {
+	run := func(i int) error {
 		t := tasks[i]
 		d := synth.Generate(t.profile, o.Scale, o.Seed)
 		o.log("table2: %s / %s ...", t.profile.Name, t.placer)
 		row, err := runOne(d, t.placer, o)
 		if err != nil {
-			errs[i] = fmt.Errorf("%s/%s: %w", t.profile.Name, t.placer, err)
-			return
+			return fmt.Errorf("%s/%s: %w", t.profile.Name, t.placer, err)
 		}
 		o.log("table2: %s / %s -> HOF=%.2f%% VOF=%.2f%% WL=%.0f RT=%s",
 			t.profile.Name, t.placer, row.HOF, row.VOF, row.WL, row.RT.Round(time.Millisecond))
 		rows[i] = row
+		return nil
 	}
 	if o.Parallel {
-		par.For(len(tasks), run)
+		if err := par.ForErr(o.ctx(), len(tasks), run); err != nil {
+			return nil, nil, err
+		}
 	} else {
 		for i := range tasks {
-			run(i)
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+			if err := flow.Check(o.ctx()); err != nil {
+				return nil, nil, err
+			}
+			if err := run(i); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	return rows, Summarize(rows), nil

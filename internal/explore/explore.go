@@ -12,10 +12,13 @@
 package explore
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 	"sync"
+
+	"puffer/internal/flow"
 )
 
 // Kind describes a parameter's domain.
@@ -302,12 +305,17 @@ func (e *Explorer) initialRanges() map[string]Range {
 
 // paramExploration is Algorithm 2: explore the given parameter subset with
 // the rest pinned, update their ranges from the observations, and report
-// whether the loop stopped early (converged).
-func (e *Explorer) paramExploration(rng *rand.Rand, subset []Param, ranges map[string]Range, pinned Assignment) (bool, map[string]Range) {
+// whether the loop stopped early (converged). The context is checked
+// before every SMBO trial, so a cancel costs at most one objective
+// evaluation of extra work.
+func (e *Explorer) paramExploration(ctx context.Context, rng *rand.Rand, subset []Param, ranges map[string]Range, pinned Assignment) (bool, map[string]Range, error) {
 	var obs []Observation
 	best := math.Inf(1)
 	npc := 0
 	for tc := 0; tc < e.TimeLimit && npc < e.EarlyStop; tc++ {
+		if err := flow.Check(ctx); err != nil {
+			return false, updateRanges(subset, ranges, obs, e.TPE.Gamma), err
+		}
 		x := e.TPE.Suggest(rng, subset, ranges, obs)
 		full := make(Assignment, len(e.Params))
 		for k, v := range pinned {
@@ -326,7 +334,33 @@ func (e *Explorer) paramExploration(rng *rand.Rand, subset []Param, ranges map[s
 			npc = 0
 		}
 	}
-	return npc >= e.EarlyStop, updateRanges(subset, ranges, obs, e.TPE.Gamma)
+	return npc >= e.EarlyStop, updateRanges(subset, ranges, obs, e.TPE.Gamma), nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer whose
+// outputs pass statistical tests even on sequential inputs.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// groupSeed derives the RNG seed of group gi in round r from the base
+// seed by splitmix-style mixing. The previous additive scheme
+// (seed + round*1000 + gi) collided whenever round*1000+gi coincided
+// across (round, group) pairs — e.g. (0, 1000) and (1, 0) — feeding
+// identical random streams to different groups; mixing each coordinate
+// through a bijective finalizer makes collisions astronomically unlikely
+// while keeping the derivation deterministic for a fixed base seed.
+func groupSeed(seed int64, round, gi int) int64 {
+	// Chained (order-dependent) mixing: each input is folded into the
+	// running hash before the next splitmix64 pass, so no symmetry between
+	// seed, round, and group index can produce colliding streams.
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ (uint64(round) + 1))
+	h = splitmix64(h ^ (uint64(gi) + 1))
+	return int64(h)
 }
 
 // updateRanges shrinks each parameter's range to the span of the top-γ
@@ -381,6 +415,16 @@ func updateRanges(subset []Param, ranges map[string]Range, obs []Observation, ga
 // Run executes Algorithm 3 and returns the final configuration (median of
 // the converged ranges) along with the best observed assignment.
 func (e *Explorer) Run() (final, bestSeen Assignment) {
+	final, bestSeen, _ = e.RunCtx(context.Background())
+	return final, bestSeen
+}
+
+// RunCtx is Run with cancellation: every SMBO trial boundary — in the
+// global pass and inside each (possibly parallel) group exploration —
+// checks the context. On cancellation the error wraps flow.ErrCanceled
+// and the returned assignments are still usable: final is the range
+// median and bestSeen the best observation at the moment of the cancel.
+func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err error) {
 	if e.TimeLimit <= 0 {
 		e.TimeLimit = 30
 	}
@@ -408,7 +452,8 @@ func (e *Explorer) Run() (final, bestSeen Assignment) {
 	if e.Logf != nil {
 		e.Logf("explore: global pass over %d params", len(e.Params))
 	}
-	_, ranges = e.paramExploration(rng, e.Params, ranges, Assignment{})
+	var gerr error
+	_, ranges, gerr = e.paramExploration(ctx, rng, e.Params, ranges, Assignment{})
 
 	// Group parameters by declared relevance (line 3).
 	groupNames := []string{}
@@ -424,19 +469,20 @@ func (e *Explorer) Run() (final, bestSeen Assignment) {
 		groups[g] = append(groups[g], p)
 	}
 
-	for round := 0; round < e.Rounds; round++ {
+	for round := 0; gerr == nil && round < e.Rounds; round++ {
 		pin := mids()
 		earlyStop := true
 		type groupResult struct {
 			name   string
 			flag   bool
 			ranges map[string]Range
+			err    error
 		}
 		results := make([]groupResult, len(groupNames))
 		runGroup := func(gi int) {
 			name := groupNames[gi]
 			sub := groups[name]
-			grng := rand.New(rand.NewSource(e.Seed + int64(round)*1000 + int64(gi)))
+			grng := rand.New(rand.NewSource(groupSeed(e.Seed, round, gi)))
 			pinned := make(Assignment, len(pin))
 			for k, v := range pin {
 				pinned[k] = v
@@ -444,8 +490,8 @@ func (e *Explorer) Run() (final, bestSeen Assignment) {
 			for _, p := range sub {
 				delete(pinned, p.Name)
 			}
-			flag, nr := e.paramExploration(grng, sub, ranges, pinned)
-			results[gi] = groupResult{name: name, flag: flag, ranges: nr}
+			flag, nr, err := e.paramExploration(ctx, grng, sub, ranges, pinned)
+			results[gi] = groupResult{name: name, flag: flag, ranges: nr, err: err}
 		}
 		if e.Parallel {
 			var wg sync.WaitGroup
@@ -460,15 +506,26 @@ func (e *Explorer) Run() (final, bestSeen Assignment) {
 		} else {
 			for gi := range groupNames {
 				runGroup(gi)
+				if results[gi].err != nil {
+					break
+				}
 			}
 		}
 		// Deterministic merge in group declaration order: each group owns
-		// its own parameters' ranges.
+		// its own parameters' ranges. A canceled group contributes the
+		// ranges it had converged so far; the first error (deterministic
+		// in group order) aborts the remaining rounds.
 		for gi, name := range groupNames {
+			if results[gi].ranges == nil {
+				continue // never ran (sequential early break)
+			}
 			for _, p := range groups[name] {
 				ranges[p.Name] = results[gi].ranges[p.Name]
 			}
 			earlyStop = earlyStop && results[gi].flag
+			if gerr == nil && results[gi].err != nil {
+				gerr = results[gi].err
+			}
 		}
 		if e.Logf != nil {
 			e.Logf("explore: round %d done, converged=%v", round+1, earlyStop)
@@ -486,7 +543,7 @@ func (e *Explorer) Run() (final, bestSeen Assignment) {
 			bestSeen = o.X
 		}
 	}
-	return final, bestSeen
+	return final, bestSeen, gerr
 }
 
 func min(a, b int) int {

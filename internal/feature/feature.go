@@ -13,6 +13,7 @@
 package feature
 
 import (
+	"context"
 	"math"
 
 	"puffer/internal/cong"
@@ -69,6 +70,15 @@ type Set struct {
 // congestion map m and the per-net topologies trees (as produced by
 // cong.Estimator). Fixed cells get zero vectors.
 func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
+	s, _ := ExtractCtx(context.Background(), d, m, trees, p)
+	return s
+}
+
+// ExtractCtx is Extract with cancellation: each parallel extraction loop
+// stops scheduling new cell/net chunks once ctx is done and returns an
+// error wrapping flow.ErrCanceled. The partially filled Set is returned
+// so callers can discard it without a nil check.
+func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) (*Set, error) {
 	s := &Set{Vec: make([][Count]float64, len(d.Cells))}
 
 	// Per-Gcell congestion and pin density grids plus their summed-area
@@ -84,10 +94,10 @@ func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
 	satPd := newSAT(pd, m.W, m.H)
 
 	// Local and CNN-inspired features per cell.
-	par.For(len(d.Cells), func(ci int) {
+	if err := par.ForErr(ctx, len(d.Cells), func(ci int) error {
 		c := &d.Cells[ci]
 		if c.Fixed {
-			return
+			return nil
 		}
 		r := c.Rect().Intersect(m.Region)
 		ci0, cj0 := m.GcellOf(r.Lo)
@@ -123,7 +133,10 @@ func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
 		k := p.KernelMargin
 		s.Vec[ci][SurroundCg] = satCg.mean(ci0-k, cj0-k, ci1+k, cj1+k)
 		s.Vec[ci][SurroundPinDensity] = satPd.mean(ci0-k, cj0-k, ci1+k, cj1+k)
-	})
+		return nil
+	}); err != nil {
+		return s, err
+	}
 
 	// GNN-inspired pin congestion. First per pin, then summed per cell
 	// (Eq. 12). Nets are independent, so parallelize over nets with a
@@ -132,9 +145,9 @@ func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
 	for i := range pinCg {
 		pinCg[i] = math.Inf(1)
 	}
-	par.For(len(d.Nets), func(n int) {
+	if err := par.ForErr(ctx, len(d.Nets), func(n int) error {
 		if n >= len(trees) {
-			return
+			return nil
 		}
 		tree := &trees[n]
 		net := &d.Nets[n]
@@ -154,11 +167,14 @@ func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
 				}
 			}
 		}
-	})
-	par.For(len(d.Cells), func(ci int) {
+		return nil
+	}); err != nil {
+		return s, err
+	}
+	if err := par.ForErr(ctx, len(d.Cells), func(ci int) error {
 		c := &d.Cells[ci]
 		if c.Fixed {
-			return
+			return nil
 		}
 		sum := 0.0
 		for _, pid := range c.Pins {
@@ -167,8 +183,11 @@ func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
 			}
 		}
 		s.Vec[ci][PinCg] = sum
-	})
-	return s
+		return nil
+	}); err != nil {
+		return s, err
+	}
+	return s, nil
 }
 
 // pathCongestion returns the minimum over candidate L- and Z-shaped paths

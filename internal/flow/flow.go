@@ -1,0 +1,53 @@
+// Package flow holds the cancellation and stage-error vocabulary shared
+// by every long-running layer of the PUFFER flow (place, padding, legal,
+// dp, router, explore) and by the public pipeline runner. It lives in its
+// own leaf package so the engine packages and the pipeline can agree on
+// error identity without an import cycle.
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is returned (wrapped) by every engine that stops early
+// because its context was canceled or its deadline expired. It wraps
+// context.Canceled so errors.Is works against either sentinel.
+var ErrCanceled = fmt.Errorf("puffer: run canceled: %w", context.Canceled)
+
+// Check returns nil while ctx is live, and an ErrCanceled-wrapping error
+// once it is done. Engines call it at every iteration / batch / pass /
+// trial boundary, so cancellation costs at most one unit of extra work.
+func Check(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w (%v)", ErrCanceled, context.Cause(ctx))
+	default:
+		return nil
+	}
+}
+
+// StageError wraps an engine failure with the pipeline stage it occurred
+// in, so callers can tell a canceled legalization from a canceled route.
+type StageError struct {
+	Stage string
+	Err   error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	return fmt.Sprintf("stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying engine error to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// StageOf returns the stage name carried by err's StageError, if any.
+func StageOf(err error) (string, bool) {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage, true
+	}
+	return "", false
+}

@@ -1,0 +1,44 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCheckLiveContext(t *testing.T) {
+	if err := Check(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+}
+
+func TestCheckCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Check(ctx)
+	if err == nil {
+		t.Fatal("canceled context not detected")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("not ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("does not wrap context.Canceled: %v", err)
+	}
+}
+
+func TestStageError(t *testing.T) {
+	inner := fmt.Errorf("outer: %w", ErrCanceled)
+	err := error(&StageError{Stage: "legalize", Err: inner})
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("StageError does not unwrap to ErrCanceled: %v", err)
+	}
+	stage, ok := StageOf(err)
+	if !ok || stage != "legalize" {
+		t.Errorf("StageOf = %q, %v", stage, ok)
+	}
+	if _, ok := StageOf(errors.New("plain")); ok {
+		t.Error("StageOf matched a plain error")
+	}
+}

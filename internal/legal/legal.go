@@ -9,10 +9,12 @@
 package legal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"puffer/internal/flow"
 	"puffer/internal/geom"
 	"puffer/internal/netlist"
 )
@@ -75,6 +77,19 @@ type cluster struct {
 // displacement statistics measured against the incoming (global placement)
 // positions.
 func Legalize(d *netlist.Design, cfg Config) (Result, error) {
+	return LegalizeCtx(context.Background(), d, cfg)
+}
+
+// legalizeCheckEvery is how many Abacus cell insertions run between
+// context checks during LegalizeCtx.
+const legalizeCheckEvery = 256
+
+// LegalizeCtx is Legalize with cancellation: the context is checked every
+// few hundred Abacus insertions and once more before positions are
+// written back. Because cell X/Y are only mutated in that final
+// write-back, a canceled legalization returns an error wrapping
+// flow.ErrCanceled with the design's incoming positions fully intact.
+func LegalizeCtx(ctx context.Context, d *netlist.Design, cfg Config) (Result, error) {
 	var res Result
 	movable := d.MovableIDs()
 	if len(movable) == 0 {
@@ -127,10 +142,18 @@ func Legalize(d *netlist.Design, cfg Config) (Result, error) {
 		return segsByY[i].x0 < segsByY[j].x0
 	})
 
-	for _, lc := range cells {
+	for k, lc := range cells {
+		if k%legalizeCheckEvery == 0 {
+			if err := flow.Check(ctx); err != nil {
+				return res, err
+			}
+		}
 		if err := placeCell(lc, segsByY, rowH); err != nil {
 			return res, err
 		}
+	}
+	if err := flow.Check(ctx); err != nil {
+		return res, err
 	}
 
 	// Final per-segment site alignment and overlap removal, then write

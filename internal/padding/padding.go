@@ -8,10 +8,12 @@
 package padding
 
 import (
+	"context"
 	"math"
 
 	"puffer/internal/cong"
 	"puffer/internal/feature"
+	"puffer/internal/flow"
 	"puffer/internal/netlist"
 )
 
@@ -207,6 +209,19 @@ func (o *Optimizer) ShouldTrigger(gpIter int, densityOverflow float64) bool {
 // total padding to the scheduled utilization (Eq. 16). Cell PadW fields
 // are updated in place.
 func (o *Optimizer) Run() RunInfo {
+	info, _ := o.RunCtx(context.Background())
+	return info
+}
+
+// RunCtx is Run with cancellation: the context is checked on entry and
+// after the (parallel, itself cancelable) feature extraction, before any
+// cell padding is mutated. A canceled call therefore leaves every PadW
+// untouched and returns an error wrapping flow.ErrCanceled; the call does
+// not count against the ξ budget.
+func (o *Optimizer) RunCtx(ctx context.Context) (RunInfo, error) {
+	if err := flow.Check(ctx); err != nil {
+		return RunInfo{}, err
+	}
 	o.iter++
 	i := o.iter
 	info := RunInfo{Iter: i}
@@ -214,7 +229,12 @@ func (o *Optimizer) Run() RunInfo {
 	cm := o.est.Estimate()
 	o.LastMap = cm
 	info.EstHOF, info.EstVOF = cm.OverflowRatios()
-	feats := feature.Extract(o.d, cm, o.est.Trees, o.S.Feat)
+	feats, err := feature.ExtractCtx(ctx, o.d, cm, o.est.Trees, o.S.Feat)
+	if err != nil {
+		// Roll the call back: no padding was touched yet.
+		o.iter--
+		return RunInfo{}, err
+	}
 	o.LastFeatures = feats
 
 	// Eq. 14 per movable cell, applied incrementally on top of the
@@ -276,7 +296,7 @@ func (o *Optimizer) Run() RunInfo {
 	if o.S.NetWeightGain > 0 {
 		o.reweightNets(cm)
 	}
-	return info
+	return info, nil
 }
 
 // reweightNets applies the optional congestion-aware net weighting: each

@@ -1,0 +1,92 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"puffer/internal/flow"
+)
+
+func TestForErrVisitsAll(t *testing.T) {
+	const n = 1000
+	var hits [n]atomic.Int32
+	err := ForErr(context.Background(), n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForErrZeroAndNegative(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if err := ForErr(context.Background(), n, func(int) error {
+			t.Fatal("fn called")
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestForErrFirstErrorStopsScheduling(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	err := ForErr(context.Background(), 100000, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Chunks already started finish, but the vast majority of the range
+	// must never have been scheduled.
+	if c := calls.Load(); c > 50000 {
+		t.Errorf("scheduling did not stop: %d calls after error", c)
+	}
+}
+
+func TestForErrCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	err := ForErr(ctx, 100000, func(int) error {
+		calls.Add(1)
+		return nil
+	})
+	if !errors.Is(err, flow.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// Pre-canceled context: at most the first chunk per worker runs.
+	if c := calls.Load(); c > 10000 {
+		t.Errorf("canceled run still made %d calls", c)
+	}
+}
+
+func TestForErrCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := ForErr(ctx, 1_000_000, func(i int) error {
+		if calls.Add(1) == 100 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, flow.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if c := calls.Load(); c > 500_000 {
+		t.Errorf("cancellation not observed promptly: %d calls", c)
+	}
+}

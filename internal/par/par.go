@@ -1,12 +1,18 @@
-// Package par provides the tiny data-parallel helper used by feature
+// Package par provides the tiny data-parallel helpers used by feature
 // extraction, routing, and the experiment harness. The paper's experiments
-// run with eight threads; this helper spreads index ranges across
-// GOMAXPROCS workers.
+// run with eight threads; these helpers spread index ranges across
+// GOMAXPROCS workers. ForErr is the context-aware variant: it stops
+// scheduling new work on cancellation or first error, which is what lets
+// the pipeline observe a cancel within one net batch / feature chunk.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"puffer/internal/flow"
 )
 
 // For runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n) workers.
@@ -46,4 +52,83 @@ func For(n int, fn func(i int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// forErrChunk is how many consecutive indices one worker claims per grab.
+// Small enough that a cancel is observed quickly, large enough that the
+// atomic counter is not the bottleneck on fine-grained bodies.
+const forErrChunk = 16
+
+// ForErr runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n)
+// workers, stopping the schedule of new chunks as soon as ctx is canceled
+// or any call returns an error. Already-started chunks run to completion
+// (fn is never interrupted mid-call). ForErr returns the first error
+// observed: a fn error verbatim, or an error wrapping flow.ErrCanceled
+// when the context ended first. Indices beyond the first failure may or
+// may not have been visited.
+func ForErr(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return flow.Check(ctx)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (n+forErrChunk-1)/forErrChunk {
+		workers = (n + forErrChunk - 1) / forErrChunk
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if i%forErrChunk == 0 {
+				if err := flow.Check(ctx); err != nil {
+					return err
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed index
+		mu       sync.Mutex
+		firstErr error
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			stopped.Store(true)
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				if err := flow.Check(ctx); err != nil {
+					fail(err)
+					return
+				}
+				lo := int(next.Add(forErrChunk)) - forErrChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + forErrChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(i); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }

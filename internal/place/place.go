@@ -7,11 +7,13 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"puffer/internal/density"
+	"puffer/internal/flow"
 	"puffer/internal/geom"
 	"puffer/internal/nesterov"
 	"puffer/internal/netlist"
@@ -369,9 +371,20 @@ func (p *Placer) retireFillers(padArea float64) {
 // Run executes global placement until convergence, calling hook (if any)
 // every iteration. Final positions are written back to the design.
 func (p *Placer) Run(hook Hook) *Result {
+	res, _ := p.RunCtx(context.Background(), hook)
+	return res
+}
+
+// RunCtx is Run with cancellation: the context is checked once per
+// Nesterov iteration, so a cancel or deadline is observed within one
+// iteration of work. On cancellation the current major solution is still
+// written back to the design (every intermediate placement is a valid,
+// in-region placement) and the partial Result is returned alongside an
+// error wrapping flow.ErrCanceled.
+func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 	res := &Result{}
 	if len(p.movable) == 0 {
-		return res
+		return res, flow.Check(ctx)
 	}
 	p.overflow = 1
 	p.updateGamma()
@@ -382,6 +395,12 @@ func (p *Placer) Run(hook Hook) *Result {
 	bestOverflow := math.Inf(1)
 	bestIter := 0
 	for iter := 1; iter <= p.Cfg.MaxIters; iter++ {
+		if err := flow.Check(ctx); err != nil {
+			p.writePositions(p.opt.Current())
+			res.HPWL = p.D.HPWL()
+			res.Overflow = p.overflow
+			return res, err
+		}
 		p.overflow = p.computeOverflow()
 		p.updateGamma()
 
@@ -440,5 +459,5 @@ func (p *Placer) Run(hook Hook) *Result {
 	p.writePositions(p.opt.Current())
 	res.HPWL = p.D.HPWL()
 	res.Overflow = p.overflow
-	return res
+	return res, nil
 }

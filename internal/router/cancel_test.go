@@ -1,0 +1,69 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"puffer/internal/flow"
+	"puffer/internal/netlist"
+)
+
+func cancelTestDesign() *netlist.Design {
+	d := testDesign()
+	for k := 0; k < 20; k++ {
+		a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 4, Y: 2 + 3*float64(k)})
+		b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 58, Y: 2 + 3*float64(k)})
+		n := d.AddNet("", 1)
+		d.Connect(a, n, 0.5, 0.5)
+		d.Connect(b, n, 0.5, 0.5)
+	}
+	return d
+}
+
+// TestRouteCtxPreCanceled checks a canceled route returns promptly with
+// ErrCanceled and leaves the design untouched (the router never mutates
+// cell positions).
+func TestRouteCtxPreCanceled(t *testing.T) {
+	d := cancelTestDesign()
+	before := make([]float64, len(d.Cells))
+	for i := range d.Cells {
+		before[i] = d.Cells[i].X
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rr, err := RouteCtx(ctx, d, DefaultConfig())
+	if !errors.Is(err, flow.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if rr != nil {
+		t.Errorf("canceled route returned a result: %+v", rr)
+	}
+	for i := range d.Cells {
+		if d.Cells[i].X != before[i] {
+			t.Fatalf("cell %d moved during canceled route", i)
+		}
+	}
+}
+
+// TestRouteCtxCancelMidRoute cancels concurrently while routing and
+// accepts either outcome — a complete result (routing won the race) or a
+// prompt ErrCanceled — but never a partial result with a nil error.
+func TestRouteCtxCancelMidRoute(t *testing.T) {
+	d := cancelTestDesign()
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	rr, err := RouteCtx(ctx, d, DefaultConfig())
+	switch {
+	case err == nil:
+		if rr == nil || rr.Segments == 0 {
+			t.Error("nil error but empty result")
+		}
+	case errors.Is(err, flow.ErrCanceled):
+		if rr != nil {
+			t.Error("canceled route returned a result alongside the error")
+		}
+	default:
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -11,11 +11,14 @@ package router
 
 import (
 	"container/heap"
+	"context"
 	"math"
 
 	"puffer/internal/cong"
+	"puffer/internal/flow"
 	"puffer/internal/geom"
 	"puffer/internal/netlist"
+	"puffer/internal/par"
 	"puffer/internal/rsmt"
 )
 
@@ -83,6 +86,22 @@ type segment struct {
 
 // Route routes every net of d and returns the congestion report.
 func Route(d *netlist.Design, cfg Config) *Result {
+	res, _ := RouteCtx(context.Background(), d, cfg)
+	return res
+}
+
+// routeCheckEvery is the net-batch granularity at which RouteCtx checks
+// its context inside the serial routing loops: a cancel is observed
+// within this many two-point segments of extra work.
+const routeCheckEvery = 32
+
+// RouteCtx is Route with cancellation. The RSMT net decomposition runs in
+// parallel and stops scheduling new net batches once ctx is done; the
+// serial routing and negotiation loops check the context every
+// routeCheckEvery segments. The router never mutates the design, so on
+// cancellation it simply returns a nil Result and an error wrapping
+// flow.ErrCanceled.
+func RouteCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
 	if cfg.GridW == 0 {
 		cfg.GridW = geom.ClampInt(int(d.Region.W()/(2*math.Max(d.RowHeight, 1e-9))), 16, 512)
 	}
@@ -107,14 +126,17 @@ func Route(d *netlist.Design, cfg Config) *Result {
 		}
 	}
 
-	// Decompose all nets into segments via RSMT.
-	var pts []geom.Point
-	for n := range d.Nets {
+	// Decompose all nets into segments via RSMT. Nets are independent, so
+	// the topology construction runs as a cancelable parallel net batch;
+	// the per-net results are flattened in net order, keeping the segment
+	// sequence (and therefore the negotiation) deterministic.
+	segsByNet := make([][]segment, len(d.Nets))
+	if err := par.ForErr(ctx, len(d.Nets), func(n int) error {
 		net := &d.Nets[n]
 		if len(net.Pins) < 2 {
-			continue
+			return nil
 		}
-		pts = pts[:0]
+		pts := make([]geom.Point, 0, len(net.Pins))
 		for _, pid := range net.Pins {
 			pts = append(pts, d.PinPos(pid))
 		}
@@ -125,14 +147,25 @@ func Route(d *netlist.Design, cfg Config) *Result {
 			if ai == bi && aj == bj {
 				continue
 			}
-			r.segs = append(r.segs, segment{ai: ai, aj: aj, bi: bi, bj: bj})
+			segsByNet[n] = append(segsByNet[n], segment{ai: ai, aj: aj, bi: bi, bj: bj})
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for n := range segsByNet {
+		r.segs = append(r.segs, segsByNet[n]...)
 	}
 
 	res := &Result{Map: r.m, Segments: len(r.segs)}
 
 	// Initial pass.
 	for i := range r.segs {
+		if i%routeCheckEvery == 0 {
+			if err := flow.Check(ctx); err != nil {
+				return nil, err
+			}
+		}
 		r.routeSegment(&r.segs[i])
 	}
 	// Negotiation rounds.
@@ -140,6 +173,11 @@ func Route(d *netlist.Design, cfg Config) *Result {
 		r.bumpHistory()
 		rerouted := 0
 		for i := range r.segs {
+			if i%routeCheckEvery == 0 {
+				if err := flow.Check(ctx); err != nil {
+					return nil, err
+				}
+			}
 			s := &r.segs[i]
 			if !r.crossesOverflow(s) {
 				continue
@@ -160,7 +198,7 @@ func Route(d *netlist.Design, cfg Config) *Result {
 		res.WL += r.pathLength(&r.segs[i])
 		res.Paths[i] = r.segs[i].path
 	}
-	return res
+	return res, nil
 }
 
 type router struct {

@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"puffer/internal/netlist"
+)
+
+// Checkpoint is the complete cross-stage flow state of a design at a
+// stage boundary: cell positions, analog cell padding, and net weights
+// (mutated by the optional congestion-aware net weighting). Applying a
+// checkpoint to a fresh instance of the same design and running the
+// remaining stages reproduces the uninterrupted run exactly — float64
+// values survive the JSON round trip bit for bit (shortest round-trip
+// encoding), so file-based resume is loss-free.
+type Checkpoint struct {
+	// Stage is the name of the stage after which the state was captured.
+	Stage string `json:"stage"`
+	// X, Y, PadW are indexed by cell ID (fixed cells included, so the
+	// checkpoint is position-complete and index-stable).
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+	PadW []float64 `json:"pad_w"`
+	// NetWeight is indexed by net ID.
+	NetWeight []float64 `json:"net_weight"`
+}
+
+// Capture snapshots d's flow state at the boundary after the named stage.
+func Capture(stage string, d *netlist.Design) *Checkpoint {
+	cp := &Checkpoint{
+		Stage:     stage,
+		X:         make([]float64, len(d.Cells)),
+		Y:         make([]float64, len(d.Cells)),
+		PadW:      make([]float64, len(d.Cells)),
+		NetWeight: make([]float64, len(d.Nets)),
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		cp.X[i], cp.Y[i], cp.PadW[i] = c.X, c.Y, c.PadW
+	}
+	for n := range d.Nets {
+		cp.NetWeight[n] = d.Nets[n].Weight
+	}
+	return cp
+}
+
+// Apply writes the checkpointed state back into d. The design must have
+// the same cell and net counts as the one the checkpoint was captured
+// from (i.e. be a fresh instance of the same design).
+func (cp *Checkpoint) Apply(d *netlist.Design) error {
+	if len(cp.X) != len(d.Cells) || len(cp.Y) != len(d.Cells) || len(cp.PadW) != len(d.Cells) {
+		return fmt.Errorf("checkpoint has %d cells, design has %d", len(cp.X), len(d.Cells))
+	}
+	if len(cp.NetWeight) != len(d.Nets) {
+		return fmt.Errorf("checkpoint has %d nets, design has %d", len(cp.NetWeight), len(d.Nets))
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		c.X, c.Y, c.PadW = cp.X[i], cp.Y[i], cp.PadW[i]
+	}
+	for n := range d.Nets {
+		d.Nets[n].Weight = cp.NetWeight[n]
+	}
+	return nil
+}
+
+// Save writes the checkpoint as JSON.
+func (cp *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("pipeline: encode checkpoint: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadCheckpoint reads a checkpoint saved by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("pipeline: decode checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}

@@ -15,6 +15,13 @@
 //     discretized to whole sites, then legalizes with an Abacus-based
 //     algorithm.
 //
+// Run executes that default flow in one call and is kept source-compatible
+// across releases: its signature, Config and Result fields, and StageLog
+// line formats are stable. Callers that need cancellation, deadlines,
+// per-stage statistics, custom stage lists, or checkpoint/resume should use
+// RunCtx or the pipeline package directly — Config and Result are aliases
+// of the pipeline types, so values move freely between the two APIs.
+//
 // Strategy parameters can be hand-set (padding.DefaultStrategy) or
 // searched with the Bayesian strategy exploration in internal/explore via
 // ExploreStrategy. Placements are judged by the built-in evaluation
@@ -23,136 +30,52 @@
 package puffer
 
 import (
+	"context"
 	"fmt"
-	"time"
 
-	"puffer/internal/dp"
-	"puffer/internal/geom"
-	"puffer/internal/legal"
 	"puffer/internal/netlist"
-	"puffer/internal/padding"
-	"puffer/internal/place"
 	"puffer/internal/router"
+	"puffer/pipeline"
 )
 
-// Config configures the full PUFFER flow.
-type Config struct {
-	// Place configures the global placement engine.
-	Place place.Config
-	// Strategy bundles every routability-optimizer strategy parameter.
-	Strategy padding.Strategy
-	// Legal configures the legalization stage.
-	Legal legal.Config
-	// DP configures the post-legalization detailed placement; PUFFER runs
-	// it padding-preserving so the injected white space survives.
-	DP dp.Config
-	// CongGridW/H size the congestion estimation Gcell grid; zero picks
-	// roughly two placement rows per Gcell.
-	CongGridW, CongGridH int
-	// Logf, when non-nil, receives stage-by-stage progress lines.
-	Logf func(format string, args ...any)
-}
+// Config configures the full PUFFER flow. It is an alias of
+// pipeline.Config.
+type Config = pipeline.Config
+
+// Result reports a finished PUFFER run. It is an alias of pipeline.Result.
+type Result = pipeline.Result
+
+// ErrCanceled is wrapped by every error a canceled RunCtx returns.
+var ErrCanceled = pipeline.ErrCanceled
 
 // DefaultConfig returns the paper-faithful defaults.
-func DefaultConfig() Config {
-	dcfg := dp.DefaultConfig()
-	dcfg.PreservePadding = true
-	dcfg.Passes = 2
-	dcfg.WindowSites = 100
-	return Config{
-		Place:    place.DefaultConfig(),
-		Strategy: padding.DefaultStrategy(),
-		Legal:    legal.DefaultConfig(),
-		DP:       dcfg,
-	}
-}
-
-// Result reports a finished PUFFER run.
-type Result struct {
-	HPWL        float64      // legalized half-perimeter wirelength
-	GP          place.Result // global placement summary
-	Legal       legal.Result
-	DP          dp.Result
-	PaddingRuns []padding.RunInfo
-	PaddingArea float64
-	Runtime     time.Duration
-	StageLog    []string // Fig. 2 flow trace
-}
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
 
 // CongGridFor picks the default congestion/routing grid for a design:
 // roughly two placement rows per Gcell, clamped to a practical range.
-func CongGridFor(d *netlist.Design) (int, int) {
-	rh := d.RowHeight
-	if rh <= 0 {
-		rh = 1
-	}
-	w := geom.ClampInt(int(d.Region.W()/(2*rh)), 16, 512)
-	h := geom.ClampInt(int(d.Region.H()/(2*rh)), 16, 512)
-	return w, h
-}
+func CongGridFor(d *netlist.Design) (int, int) { return pipeline.GridFor(d) }
 
 // Run executes the full PUFFER flow on d, mutating cell positions and
-// padding in place.
+// padding in place. It is the uncancelable compatibility wrapper over the
+// default pipeline; see RunCtx for the context-aware form.
 func Run(d *netlist.Design, cfg Config) (*Result, error) {
-	start := time.Now()
-	res := &Result{}
-	log := func(format string, args ...any) {
-		line := fmt.Sprintf(format, args...)
-		res.StageLog = append(res.StageLog, line)
-		if cfg.Logf != nil {
-			cfg.Logf("%s", line)
-		}
-	}
-	if err := d.Validate(); err != nil {
-		return nil, fmt.Errorf("puffer: %w", err)
-	}
-	gw, gh := cfg.CongGridW, cfg.CongGridH
-	if gw == 0 || gh == 0 {
-		gw, gh = CongGridFor(d)
-	}
+	return RunCtx(context.Background(), d, cfg)
+}
 
-	log("stage: global placement (engine=ePlace/Nesterov, grid auto)")
-	opt := padding.NewOptimizer(d, gw, gh, cfg.Strategy)
-	placer := place.New(d, cfg.Place)
-	hook := place.HookFunc(func(iter int, overflow float64) bool {
-		if !opt.ShouldTrigger(iter, overflow) {
-			return false
-		}
-		info := opt.Run()
-		res.PaddingRuns = append(res.PaddingRuns, info)
-		log("stage: routability optimizer call %d at GP iter %d (overflow=%.3f): padded=%d recycled=%d util=%.3f/%.3f estHOF=%.2f%% estVOF=%.2f%%",
-			info.Iter, iter, overflow, info.PaddedCells, info.Recycled,
-			info.Utilization, info.TargetUtil, info.EstHOF, info.EstVOF)
-		return true
-	})
-	gp := placer.Run(hook)
-	res.GP = *gp
-	log("stage: global placement done (iters=%d overflow=%.3f hpwl=%.0f)", gp.Iters, gp.Overflow, gp.HPWL)
-
-	log("stage: white-space-assisted legalization (theta=%.1f cap=%.0f%%)",
-		cfg.Strategy.Theta, 100*cfg.Legal.MaxUtil)
-	lcfg := cfg.Legal
-	lcfg.Theta = cfg.Strategy.Theta
-	lres, err := legal.Legalize(d, lcfg)
+// RunCtx is Run with cancellation and deadline support: the context is
+// observed within one Nesterov iteration, optimizer call, legalization
+// batch, or detailed-placement pass. On cancellation the design is left in
+// a valid (though unfinished) state and the returned error wraps
+// ErrCanceled inside a pipeline.StageError naming the interrupted stage;
+// the partial Result is still returned.
+func RunCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
+	res, err := pipeline.Execute(ctx, d, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("puffer: legalization: %w", err)
-	}
-	res.Legal = lres
-	log("stage: legalization done (avg disp=%.3f, padding sites=%d)",
-		lres.AvgDisplacement, lres.PaddingSites)
-
-	if cfg.DP.Passes > 0 {
-		dres, err := dp.Refine(d, cfg.DP)
-		if err != nil {
-			return nil, fmt.Errorf("puffer: detailed placement: %w", err)
+		if res == nil {
+			return nil, fmt.Errorf("puffer: %w", err)
 		}
-		res.DP = dres
-		log("stage: detailed placement done (moves=%d swaps=%d hpwl %.0f -> %.0f, padding preserved=%v)",
-			dres.Moves, dres.Swaps, dres.HPWLBefore, dres.HPWLAfter, cfg.DP.PreservePadding)
+		return res, fmt.Errorf("puffer: %w", err)
 	}
-	res.HPWL = d.HPWL()
-	res.PaddingArea = d.TotalPaddingArea()
-	res.Runtime = time.Since(start)
 	return res, nil
 }
 

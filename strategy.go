@@ -1,6 +1,7 @@
 package puffer
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -138,6 +139,15 @@ func StrategyObjective(d *netlist.Design, placeCfg place.Config, evalCfg router.
 // and applies the result to the large benchmarks) and returns the tuned
 // strategy plus the best observed one.
 func ExploreStrategy(d *netlist.Design, placeCfg place.Config, budget int, seed int64, logf func(string, ...any)) (final, best padding.Strategy, obs int) {
+	final, best, obs, _ = ExploreStrategyCtx(context.Background(), d, placeCfg, budget, seed, logf)
+	return final, best, obs
+}
+
+// ExploreStrategyCtx is ExploreStrategy with cancellation support: the
+// context is observed between SMBO trials. On cancellation the best
+// strategies found so far are still returned, alongside an error wrapping
+// ErrCanceled.
+func ExploreStrategyCtx(ctx context.Context, d *netlist.Design, placeCfg place.Config, budget int, seed int64, logf func(string, ...any)) (final, best padding.Strategy, obs int, err error) {
 	e := &explore.Explorer{
 		Params:    StrategyParams(),
 		Eval:      StrategyObjective(d, placeCfg, router.DefaultConfig()),
@@ -148,12 +158,12 @@ func ExploreStrategy(d *netlist.Design, placeCfg place.Config, budget int, seed 
 		Seed:      seed,
 		Logf:      logf,
 	}
-	fa, ba := e.Run()
+	fa, ba, err := e.RunCtx(ctx)
 	final = padding.DefaultStrategy()
 	ApplyAssignment(&final, fa)
 	best = padding.DefaultStrategy()
 	ApplyAssignment(&best, ba)
-	return final, best, len(e.History())
+	return final, best, len(e.History()), err
 }
 
 func max(a, b int) int {
