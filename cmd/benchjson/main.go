@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` output into a JSON report.
+// CI uses it to publish the incremental-estimator comparison as
+// BENCH_estimate.json: when both BenchmarkEstimateScratch and
+// BenchmarkEstimateIncremental appear in the input, the report includes
+// their speedup ratio.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='BenchmarkEstimate' -benchtime=50x . |
+//	    go run ./cmd/benchjson -out BENCH_estimate.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	CPU        string      `json:"cpu,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// SpeedupIncremental is scratch ns/op divided by incremental ns/op
+	// when both estimator benches are present (acceptance bar: >= 2).
+	SpeedupIncremental float64 `json:"speedup_incremental,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_estimate.json", "output JSON file (- for stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines in input")
+	}
+
+	var scratch, incr float64
+	for _, b := range rep.Benchmarks {
+		switch b.Name {
+		case "EstimateScratch":
+			scratch = b.NsPerOp
+		case "EstimateIncremental":
+			incr = b.NsPerOp
+		}
+	}
+	if scratch > 0 && incr > 0 {
+		rep.SpeedupIncremental = scratch / incr
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks", *out, len(rep.Benchmarks))
+	if rep.SpeedupIncremental > 0 {
+		fmt.Printf(", incremental speedup %.2fx", rep.SpeedupIncremental)
+	}
+	fmt.Println(")")
+}
+
+// parse consumes `go test -bench` output: header lines (goos/goarch/cpu)
+// and result lines of the form
+//
+//	BenchmarkName[-P]  N  V ns/op  [V unit]...
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		// Strip the -GOMAXPROCS suffix, keeping dashes inside the name.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", f[i], line)
+			}
+			if f[i+1] == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[f[i+1]] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -53,6 +53,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the PUFFER flow after this duration (0 = none)")
 		ckpt     = flag.String("checkpoint", "", "write a flow checkpoint (JSON) to this file after each stage")
 		resume   = flag.String("resume", "", "resume the flow from a checkpoint written by -checkpoint")
+		workers  = flag.Int("workers", 0, "cap flow parallelism (0 = GOMAXPROCS)")
+		stats    = flag.Bool("stats", true, "print per-stage pipeline statistics")
 		list     = flag.Bool("list", false, "list the synthetic benchmark profiles and exit")
 		verbose  = flag.Bool("v", false, "verbose progress")
 	)
@@ -104,10 +106,13 @@ func main() {
 
 	start := time.Now()
 	gw, gh := puffer.CongGridFor(d)
+	evalCfg := router.DefaultConfig()
+	evalCfg.Workers = *workers
 	switch *placer {
 	case "puffer":
 		cfg := puffer.DefaultConfig()
 		cfg.Place.Seed = *seed
+		cfg.Workers = *workers
 		cfg.Logf = logf
 		if *iters > 0 {
 			cfg.Place.MaxIters = *iters
@@ -135,13 +140,17 @@ func main() {
 			}
 			fmt.Printf("resuming after stage %q from %s\n", cp.Stage, *resume)
 			err = pl.Resume(ctx, rc, cp)
-			reportStages(rc.Result.Stages)
+			if *stats {
+				reportStages(rc.Result.Stages)
+			}
 			if err != nil {
 				log.Fatal(err)
 			}
 		} else {
 			err = pl.Run(ctx, rc)
-			reportStages(rc.Result.Stages)
+			if *stats {
+				reportStages(rc.Result.Stages)
+			}
 			if err != nil {
 				if errors.Is(err, pipeline.ErrCanceled) {
 					var se *pipeline.StageError
@@ -158,6 +167,12 @@ func main() {
 		res := rc.Result
 		fmt.Printf("PUFFER: GP iters=%d overflow=%.3f, %d padding rounds, legal avg disp=%.3f, HPWL=%.0f\n",
 			res.GP.Iters, res.GP.Overflow, len(res.PaddingRuns), res.Legal.AvgDisplacement, res.HPWL)
+		// Reuse the flow's incrementally maintained congestion grid and
+		// RSMT topologies for the routing evaluation below.
+		if po := rc.PadOptimizer(); po.Iter() > 0 {
+			evalCfg.GridW, evalCfg.GridH = rc.GridW, rc.GridH
+			evalCfg.Topo = po.Estimator()
+		}
 		if *trace != "" {
 			var b strings.Builder
 			b.WriteString("iter,hpwl,overflow,lambda,gamma,padded\n")
@@ -211,7 +226,7 @@ func main() {
 
 	var routed *router.Result
 	if !*noEval {
-		rr := puffer.Evaluate(d, router.DefaultConfig())
+		rr := puffer.Evaluate(d, evalCfg)
 		routed = rr
 		fmt.Printf("routed: HOF=%.2f%% VOF=%.2f%% WL=%.0f (%d segments, %d rerouted)\n",
 			rr.HOF, rr.VOF, rr.WL, rr.Segments, rr.Rerouted)
@@ -271,10 +286,18 @@ func main() {
 	}
 }
 
-// reportStages prints the per-stage pipeline statistics.
+// reportStages prints the per-stage pipeline statistics, including the
+// congestion engine's counters for stages that ran the estimator.
 func reportStages(stages []pipeline.StageStats) {
 	for _, st := range stages {
 		fmt.Printf("stage %-10s %10s  iters=%-8d allocs=%d\n",
 			st.Name, st.Wall.Round(time.Microsecond), st.Iters, st.AllocsDelta)
+		if es := st.Estimator; es != nil {
+			fmt.Printf("  estimator: calls=%d rebuilds=%d incremental=%d hit=%.1f%% last=%s dirty=%d moved=%d (pin=%s topo=%s apply=%s expand=%s)\n",
+				es.Calls, es.FullRebuilds, es.IncrementalCalls, 100*es.HitRate(),
+				es.LastReason, es.LastDirtyNets, es.LastMovedPins,
+				es.LastPinWall.Round(time.Microsecond), es.LastTopoWall.Round(time.Microsecond),
+				es.LastApplyWall.Round(time.Microsecond), es.LastExpandWall.Round(time.Microsecond))
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package cong
 
 import (
+	"context"
 	"math"
 
 	"puffer/internal/geom"
@@ -24,7 +25,23 @@ type Params struct {
 	// CongestThreshold is the per-Gcell overflow above which an I-segment
 	// counts as congested.
 	CongestThreshold float64
+
+	// Workers caps the estimator's data parallelism (0 = GOMAXPROCS).
+	// Results are deterministic for a fixed worker count: nets and pins
+	// are sharded statically and per-worker accumulators merge in shard
+	// order.
+	Workers int
+	// RebuildEvery forces a full from-scratch re-estimation every this
+	// many Estimate calls, bounding the floating-point drift the
+	// incremental subtract/restamp path accumulates. Zero selects
+	// DefaultRebuildEvery; negative disables periodic rebuilds (the
+	// engine then rebuilds only when forced or when most nets are dirty).
+	RebuildEvery int
 }
+
+// DefaultRebuildEvery is the periodic full-rebuild interval used when
+// Params.RebuildEvery is zero.
+const DefaultRebuildEvery = 16
 
 // DefaultParams returns the hand-tuned defaults; the strategy exploration
 // scheme replaces them with searched values.
@@ -51,20 +68,47 @@ type Seg struct {
 
 // Estimator produces congestion maps by the routing-detour-imitating
 // estimation algorithm of Sec. III-A.
+//
+// Since the incremental refactor the estimator is an engine rather than a
+// one-shot pass: every net's deposited demand is journaled (see
+// incremental.go), so repeated Estimate calls re-stamp only the nets whose
+// pins crossed a Gcell boundary since the previous call, and the full
+// rebuild paths shard nets and pins across Params.Workers.
 type Estimator struct {
 	d *netlist.Design
 	M *Map
 	P Params
 
 	// Segs holds the I-shaped segments found during the last Estimate
-	// call, after which the detour expansion ran over them.
+	// call, after which the detour expansion ran over them. Segments are
+	// concatenated in net order, so the expansion order is independent of
+	// which nets were rebuilt incrementally.
 	Segs []Seg
 
 	// Trees holds the last RSMT topology per net; feature extraction
-	// (GNN-inspired pin congestion) walks the same topology.
+	// (GNN-inspired pin congestion) walks the same topology, and the
+	// evaluation router reuses it through SyncTopologies.
 	Trees []rsmt.Tree
 
-	pts []geom.Point // scratch
+	// Incremental engine state (incremental.go).
+	built        bool
+	forceRebuild bool
+	lastP        Params
+	sinceRebuild int
+	pinCell      []int32      // last quantized Gcell per pin
+	nets         []netJournal // per-net stamp journal
+	baseH        []float64    // pre-expansion demand, maintained incrementally
+	baseV        []float64
+	basePins     []float64
+
+	accH, accV, accPins [][]float64  // per-worker rebuild accumulators
+	movedShards         [][]movedPin // per-shard moved-pin scratch
+	dirty               []int        // dirty net ids scratch
+	dirtyMark           []bool
+
+	ovH, ovV []uint64 // expansion overflow bitsets
+
+	stats Stats
 }
 
 // NewEstimator creates an estimator over a fresh W×H capacity map for d.
@@ -72,44 +116,44 @@ func NewEstimator(d *netlist.Design, w, h int, p Params) *Estimator {
 	return &Estimator{d: d, M: NewMap(d, w, h), P: p}
 }
 
+// Grid returns the estimator's Gcell grid dimensions.
+func (e *Estimator) Grid() (int, int) { return e.M.W, e.M.H }
+
 // Estimate runs the full pipeline — topology generation, probabilistic
 // demand, pin penalty, detour expansion — and returns the resulting map.
+//
+// The first call (and every forced or periodic rebuild) estimates from
+// scratch in parallel; other calls subtract and re-stamp only the nets
+// whose pins moved across a Gcell boundary, then re-run the detour
+// expansion on the refreshed base demand. Estimate is equivalent to a
+// from-scratch run up to the bounded floating-point drift of the
+// subtract/restamp path; a rebuild (periodic or ForceRebuild) restores
+// bit-exactness.
 func (e *Estimator) Estimate() *Map {
-	e.M.ResetDemand()
-	e.Segs = e.Segs[:0]
-	if cap(e.Trees) < len(e.d.Nets) {
-		e.Trees = make([]rsmt.Tree, len(e.d.Nets))
-	}
-	e.Trees = e.Trees[:len(e.d.Nets)]
-
-	// Pin counts and pin penalty demand.
-	for p := range e.d.Pins {
-		i, j := e.M.GcellOf(e.d.PinPos(p))
-		idx := e.M.Index(i, j)
-		e.M.Pins[idx]++
-		e.M.DmdH[idx] += e.P.PinPenalty
-		e.M.DmdV[idx] += e.P.PinPenalty
-	}
-
-	for n := range e.d.Nets {
-		e.estimateNet(n)
-	}
-	e.expand()
-	return e.M
+	// The background context cannot cancel, and estimation has no other
+	// error source, so the error is impossible here.
+	m, _ := e.EstimateCtx(context.Background())
+	return m
 }
 
-// estimateNet builds the RSMT topology of net n and deposits its demand.
-func (e *Estimator) estimateNet(n int) {
+// stampNet builds the journal entry for net n from the current pin
+// positions: the RSMT topology, the demand stamps of every I- and L-shaped
+// edge, and the I-segment records the detour expansion consumes. It writes
+// only net-owned state (Trees[n] and j), so distinct nets stamp in
+// parallel. pts is the caller's scratch buffer.
+func (e *Estimator) stampNet(n int, j *netJournal, pts []geom.Point) []geom.Point {
 	net := &e.d.Nets[n]
+	j.stamps = j.stamps[:0]
+	j.segs = j.segs[:0]
 	e.Trees[n] = rsmt.Tree{}
 	if len(net.Pins) < 2 {
-		return
+		return pts
 	}
-	e.pts = e.pts[:0]
+	pts = pts[:0]
 	for _, pid := range net.Pins {
-		e.pts = append(e.pts, e.d.PinPos(pid))
+		pts = append(pts, e.d.PinPos(pid))
 	}
-	tree := rsmt.Build(e.pts)
+	tree := rsmt.Build(pts)
 	e.Trees[n] = tree
 
 	for _, edge := range tree.Edges {
@@ -127,9 +171,9 @@ func (e *Estimator) estimateNet(n int) {
 				as, bs = bs, as
 			}
 			for i := i0; i <= i1; i++ {
-				e.M.DmdH[e.M.Index(i, aj)]++
+				j.stamps = append(j.stamps, stamp{idx: int32(e.M.Index(i, aj)), dh: 1})
 			}
-			e.Segs = append(e.Segs, Seg{Horizontal: true, I0: i0, J0: aj, I1: i1, J1: aj, ASteiner: as, BSteiner: bs})
+			j.segs = append(j.segs, Seg{Horizontal: true, I0: i0, J0: aj, I1: i1, J1: aj, ASteiner: as, BSteiner: bs})
 		case ai == bi: // vertical I-shape
 			j0, j1 := aj, bj
 			as, bs := a.Steiner, b.Steiner
@@ -137,10 +181,10 @@ func (e *Estimator) estimateNet(n int) {
 				j0, j1 = j1, j0
 				as, bs = bs, as
 			}
-			for j := j0; j <= j1; j++ {
-				e.M.DmdV[e.M.Index(ai, j)]++
+			for jj := j0; jj <= j1; jj++ {
+				j.stamps = append(j.stamps, stamp{idx: int32(e.M.Index(ai, jj)), dv: 1})
 			}
-			e.Segs = append(e.Segs, Seg{Horizontal: false, I0: ai, J0: j0, I1: ai, J1: j1, ASteiner: as, BSteiner: bs})
+			j.segs = append(j.segs, Seg{Horizontal: false, I0: ai, J0: j0, I1: ai, J1: j1, ASteiner: as, BSteiner: bs})
 		default: // L-shape: average demand over the bounding box
 			i0, i1 := ai, bi
 			if i0 > i1 {
@@ -154,15 +198,15 @@ func (e *Estimator) estimateNet(n int) {
 			h := float64(j1 - j0 + 1)
 			dh := 1 / h // total horizontal wire w spread over w·h Gcells
 			dv := 1 / w
-			for j := j0; j <= j1; j++ {
-				row := j * e.M.W
+			for jj := j0; jj <= j1; jj++ {
+				row := jj * e.M.W
 				for i := i0; i <= i1; i++ {
-					e.M.DmdH[row+i] += dh
-					e.M.DmdV[row+i] += dv
+					j.stamps = append(j.stamps, stamp{idx: int32(row + i), dh: dh, dv: dv})
 				}
 			}
 		}
 	}
+	return pts
 }
 
 // expand performs the detour-imitating demand expansion (Sec. III-A3):
@@ -171,10 +215,16 @@ func (e *Estimator) estimateNet(n int) {
 // pay perpendicular connection demand, pin endpoints do not (the cell can
 // move instead — that is the "clustered cell spreading" the estimator
 // imitates).
+//
+// The congested-span test is served by per-direction overflow bitsets that
+// are rebuilt once per call and kept current through every demand transfer,
+// so uncongested segments — the common case — cost a word scan instead of
+// a float pass over their span. The transfer semantics are unchanged.
 func (e *Estimator) expand() {
 	if e.P.ExpandRadius <= 0 || e.P.TransferRatio <= 0 {
 		return
 	}
+	e.buildOverflowBits()
 	for _, s := range e.Segs {
 		if s.Horizontal {
 			e.expandH(s)
@@ -184,18 +234,82 @@ func (e *Estimator) expand() {
 	}
 }
 
+// buildOverflowBits recomputes the overflow bitsets from the current
+// demand: bit g of ovH/ovV is set iff the Gcell's directional overflow
+// exceeds the congestion threshold.
+func (e *Estimator) buildOverflowBits() {
+	words := (e.M.W*e.M.H + 63) / 64
+	if cap(e.ovH) < words {
+		e.ovH = make([]uint64, words)
+		e.ovV = make([]uint64, words)
+	}
+	e.ovH = e.ovH[:words]
+	e.ovV = e.ovV[:words]
+	for i := range e.ovH {
+		e.ovH[i] = 0
+		e.ovV[i] = 0
+	}
+	for g := range e.M.DmdH {
+		if e.M.OverflowH(g) > e.P.CongestThreshold {
+			e.ovH[g>>6] |= 1 << (uint(g) & 63)
+		}
+		if e.M.OverflowV(g) > e.P.CongestThreshold {
+			e.ovV[g>>6] |= 1 << (uint(g) & 63)
+		}
+	}
+}
+
+// anyBitInRange reports whether any bit in the inclusive flat index range
+// [lo, hi] of bits is set.
+func anyBitInRange(bits []uint64, lo, hi int) bool {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	w0, w1 := lo>>6, hi>>6
+	if w0 == w1 {
+		mask := (^uint64(0) << (uint(lo) & 63)) & (^uint64(0) >> (63 - (uint(hi) & 63)))
+		return bits[w0]&mask != 0
+	}
+	if bits[w0]&(^uint64(0)<<(uint(lo)&63)) != 0 {
+		return true
+	}
+	for w := w0 + 1; w < w1; w++ {
+		if bits[w] != 0 {
+			return true
+		}
+	}
+	return bits[w1]&(^uint64(0)>>(63-(uint(hi)&63))) != 0
+}
+
+// addDmdH mutates horizontal demand during expansion, keeping the overflow
+// bitset in sync.
+func (e *Estimator) addDmdH(idx int, delta float64) {
+	e.M.DmdH[idx] += delta
+	bit := uint64(1) << (uint(idx) & 63)
+	if e.M.OverflowH(idx) > e.P.CongestThreshold {
+		e.ovH[idx>>6] |= bit
+	} else {
+		e.ovH[idx>>6] &^= bit
+	}
+}
+
+// addDmdV is addDmdH for the vertical direction.
+func (e *Estimator) addDmdV(idx int, delta float64) {
+	e.M.DmdV[idx] += delta
+	bit := uint64(1) << (uint(idx) & 63)
+	if e.M.OverflowV(idx) > e.P.CongestThreshold {
+		e.ovV[idx>>6] |= bit
+	} else {
+		e.ovV[idx>>6] &^= bit
+	}
+}
+
 func (e *Estimator) expandH(s Seg) {
 	m := e.M
 	j := s.J0
-	// Congested if any Gcell on the span overflows.
-	congested := false
-	for i := s.I0; i <= s.I1; i++ {
-		if m.OverflowH(m.Index(i, j)) > e.P.CongestThreshold {
-			congested = true
-			break
-		}
-	}
-	if !congested {
+	// Congested if any Gcell on the span overflows: a horizontal span is
+	// contiguous in flat indices, so one word scan answers it.
+	if !anyBitInRange(e.ovH, m.Index(s.I0, j), m.Index(s.I1, j)) {
 		return
 	}
 	// Best alternative row: maximum total slack over the span.
@@ -220,8 +334,8 @@ func (e *Estimator) expandH(s Seg) {
 	}
 	delta := e.P.TransferRatio
 	for i := s.I0; i <= s.I1; i++ {
-		m.DmdH[m.Index(i, j)] -= delta
-		m.DmdH[m.Index(i, bestJ)] += delta
+		e.addDmdH(m.Index(i, j), -delta)
+		e.addDmdH(m.Index(i, bestJ), delta)
 	}
 	// Perpendicular connection demand at Steiner endpoints only.
 	lo, hi := j, bestJ
@@ -230,12 +344,12 @@ func (e *Estimator) expandH(s Seg) {
 	}
 	if s.ASteiner {
 		for jj := lo; jj <= hi; jj++ {
-			m.DmdV[m.Index(s.I0, jj)] += delta
+			e.addDmdV(m.Index(s.I0, jj), delta)
 		}
 	}
 	if s.BSteiner {
 		for jj := lo; jj <= hi; jj++ {
-			m.DmdV[m.Index(s.I1, jj)] += delta
+			e.addDmdV(m.Index(s.I1, jj), delta)
 		}
 	}
 }
@@ -245,7 +359,8 @@ func (e *Estimator) expandV(s Seg) {
 	i := s.I0
 	congested := false
 	for j := s.J0; j <= s.J1; j++ {
-		if m.OverflowV(m.Index(i, j)) > e.P.CongestThreshold {
+		idx := m.Index(i, j)
+		if e.ovV[idx>>6]&(1<<(uint(idx)&63)) != 0 {
 			congested = true
 			break
 		}
@@ -274,8 +389,8 @@ func (e *Estimator) expandV(s Seg) {
 	}
 	delta := e.P.TransferRatio
 	for j := s.J0; j <= s.J1; j++ {
-		m.DmdV[m.Index(i, j)] -= delta
-		m.DmdV[m.Index(bestI, j)] += delta
+		e.addDmdV(m.Index(i, j), -delta)
+		e.addDmdV(m.Index(bestI, j), delta)
 	}
 	lo, hi := i, bestI
 	if lo > hi {
@@ -283,12 +398,12 @@ func (e *Estimator) expandV(s Seg) {
 	}
 	if s.ASteiner {
 		for ii := lo; ii <= hi; ii++ {
-			m.DmdH[m.Index(ii, s.J0)] += delta
+			e.addDmdH(m.Index(ii, s.J0), delta)
 		}
 	}
 	if s.BSteiner {
 		for ii := lo; ii <= hi; ii++ {
-			m.DmdH[m.Index(ii, s.J1)] += delta
+			e.addDmdH(m.Index(ii, s.J1), delta)
 		}
 	}
 }

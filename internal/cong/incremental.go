@@ -1,0 +1,441 @@
+package cong
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"puffer/internal/flow"
+	"puffer/internal/geom"
+	"puffer/internal/par"
+	"puffer/internal/rsmt"
+)
+
+// This file implements the incremental, parallel core of the estimator:
+//
+//   - Every net's deposited demand (its segment and L-box stamps) is
+//     journaled, so a net whose pins moved across a Gcell boundary can be
+//     subtracted from the running base demand and re-stamped without
+//     touching clean nets. Dirtiness is keyed on the Gcell-quantized pin
+//     positions; sub-Gcell motion leaves a net clean.
+//   - Full rebuilds (first call, forced, parameter/design changes, the
+//     periodic drift-bounding rebuild, or a dirty-majority escalation)
+//     shard pins and nets statically across workers with per-shard demand
+//     accumulators, merged per Gcell in fixed shard order — deterministic
+//     for a fixed worker count.
+//   - The detour expansion stays order-dependent and global, so it is
+//     recomputed each Estimate from the journaled base demand rather than
+//     journaled itself; its cost is bounded by the overflow bitsets in
+//     demand.go.
+//
+// Incremental updates drift from a from-scratch estimate only by the
+// floating-point error of subtract/re-add cycles; the periodic rebuild
+// (Params.RebuildEvery) restores bit-exactness.
+
+// stamp is one demand deposit of a net into a Gcell.
+type stamp struct {
+	idx    int32
+	dh, dv float64
+}
+
+// netJournal records everything one net deposited into the base demand,
+// plus the I-segments the detour expansion consumes.
+type netJournal struct {
+	stamps []stamp
+	segs   []Seg
+}
+
+// movedPin records a pin that crossed a Gcell boundary since the last
+// refresh.
+type movedPin struct {
+	pin      int32
+	from, to int32 // flat Gcell indices
+}
+
+// Stats reports what the incremental engine did, cumulatively and for the
+// most recent refresh. The pipeline snapshots it into StageStats.
+type Stats struct {
+	// Calls counts refreshes (Estimate and SyncTopologies).
+	Calls int
+	// FullRebuilds counts from-scratch estimations; IncrementalCalls
+	// counts refreshes served by the journal.
+	FullRebuilds     int
+	IncrementalCalls int
+	// LastReason explains the most recent refresh: "incremental", or the
+	// rebuild cause ("first-build", "forced", "params-changed",
+	// "design-resized", "periodic", "dirty-majority").
+	LastReason string
+	// LastDirtyNets and LastMovedPins are the re-stamped net count and
+	// boundary-crossing pin count of the last refresh (all nets/pins on a
+	// full rebuild).
+	LastDirtyNets, LastMovedPins int
+	// TotalNets is the journal size.
+	TotalNets int
+	// CacheHits counts nets served from the journal across all refreshes;
+	// CacheMisses counts nets (re)stamped.
+	CacheHits, CacheMisses uint64
+	// Per-phase wall time of the last refresh: pin scan/delta, topology +
+	// stamping, journal/accumulator application, detour expansion.
+	LastPinWall, LastTopoWall, LastApplyWall, LastExpandWall time.Duration
+}
+
+// HitRate returns the fraction of net estimations served from the journal.
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats returns a snapshot of the engine statistics.
+func (e *Estimator) Stats() Stats {
+	s := e.stats
+	s.TotalNets = len(e.nets)
+	return s
+}
+
+// ForceRebuild makes the next refresh estimate from scratch, restoring
+// bit-exact agreement with a fresh estimator run at the same worker count.
+func (e *Estimator) ForceRebuild() { e.forceRebuild = true }
+
+// EstimateCtx is Estimate with cancellation: the parallel rebuild and
+// re-stamp phases stop scheduling work once ctx is done. A canceled call
+// returns an error wrapping flow.ErrCanceled and leaves the engine marked
+// for a full rebuild, so the next call starts from consistent state.
+func (e *Estimator) EstimateCtx(ctx context.Context) (*Map, error) {
+	if err := e.refresh(ctx); err != nil {
+		return nil, err
+	}
+	copy(e.M.DmdH, e.baseH)
+	copy(e.M.DmdV, e.baseV)
+	copy(e.M.Pins, e.basePins)
+	t0 := now()
+	e.expand()
+	e.stats.LastExpandWall = since(t0)
+	return e.M, nil
+}
+
+// SyncTopologies refreshes the per-net RSMT topologies (and the journaled
+// base demand) against the current pin positions, rebuilding only dirty
+// nets, and returns the tree slice. The evaluation router consumes it to
+// skip re-decomposing nets whose pins have not crossed a Gcell boundary;
+// feature extraction receives the same slice through Estimator.Trees.
+func (e *Estimator) SyncTopologies(ctx context.Context) ([]rsmt.Tree, error) {
+	if err := e.refresh(ctx); err != nil {
+		return nil, err
+	}
+	return e.Trees, nil
+}
+
+// rebuildEvery resolves the periodic-rebuild interval.
+func (e *Estimator) rebuildEvery() int {
+	switch {
+	case e.P.RebuildEvery > 0:
+		return e.P.RebuildEvery
+	case e.P.RebuildEvery < 0:
+		return 0 // disabled
+	default:
+		return DefaultRebuildEvery
+	}
+}
+
+// maxRebuildShards bounds the number of per-shard demand accumulators a
+// full rebuild allocates (three float64 grids per shard), so many-core
+// hosts do not trade hundreds of megabytes for the parallel merge.
+const maxRebuildShards = 16
+
+// shards picks the deterministic static shard count for n items.
+func (e *Estimator) shards(n int) int {
+	w := par.Workers(e.P.Workers)
+	if w > maxRebuildShards {
+		w = maxRebuildShards
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// refresh brings the journaled base demand and topologies up to date with
+// the design, choosing between the incremental path and a full rebuild.
+func (e *Estimator) refresh(ctx context.Context) error {
+	e.stats.Calls++
+	reason := ""
+	switch {
+	case !e.built:
+		reason = "first-build"
+	case e.forceRebuild:
+		reason = "forced"
+	case e.P != e.lastP:
+		reason = "params-changed"
+	case len(e.nets) != len(e.d.Nets) || len(e.pinCell) != len(e.d.Pins):
+		reason = "design-resized"
+	case e.rebuildEvery() > 0 && e.sinceRebuild >= e.rebuildEvery():
+		reason = "periodic"
+	}
+	if reason != "" {
+		return e.fullRebuild(ctx, reason)
+	}
+	return e.incremental(ctx)
+}
+
+// ensureState sizes the engine state for the current design and grid.
+func (e *Estimator) ensureState() {
+	size := e.M.W * e.M.H
+	nNets, nPins := len(e.d.Nets), len(e.d.Pins)
+	if len(e.baseH) != size {
+		e.baseH = make([]float64, size)
+		e.baseV = make([]float64, size)
+		e.basePins = make([]float64, size)
+	}
+	if len(e.nets) != nNets {
+		e.nets = make([]netJournal, nNets)
+		e.dirtyMark = make([]bool, nNets)
+		e.dirty = e.dirty[:0]
+	}
+	if len(e.Trees) != nNets {
+		e.Trees = make([]rsmt.Tree, nNets)
+	}
+	if len(e.pinCell) != nPins {
+		e.pinCell = make([]int32, nPins)
+	}
+}
+
+// fullRebuild estimates every net from scratch: shard pins and nets
+// statically, accumulate each shard's pin penalties and net stamps into a
+// private demand grid, then merge per Gcell in fixed shard order. The
+// journal and pin keys are rebuilt as a side effect.
+func (e *Estimator) fullRebuild(ctx context.Context, reason string) error {
+	e.ensureState()
+	nNets, nPins := len(e.nets), len(e.pinCell)
+	size := e.M.W * e.M.H
+	work := nNets
+	if nPins > work {
+		work = nPins
+	}
+	W := e.shards(work)
+	if len(e.accH) != W || (W > 0 && len(e.accH[0]) != size) {
+		e.accH = make([][]float64, W)
+		e.accV = make([][]float64, W)
+		e.accPins = make([][]float64, W)
+		for w := 0; w < W; w++ {
+			e.accH[w] = make([]float64, size)
+			e.accV[w] = make([]float64, size)
+			e.accPins[w] = make([]float64, size)
+		}
+	}
+
+	tTopo := now()
+	err := par.ForErrN(ctx, W, W, func(w int) error {
+		accH, accV, accPins := e.accH[w], e.accV[w], e.accPins[w]
+		for g := range accH {
+			accH[g] = 0
+			accV[g] = 0
+			accPins[g] = 0
+		}
+		lo, hi := par.ShardRange(w, W, nPins)
+		for p := lo; p < hi; p++ {
+			i, j := e.M.GcellOf(e.d.PinPos(p))
+			idx := e.M.Index(i, j)
+			e.pinCell[p] = int32(idx)
+			accPins[idx]++
+			accH[idx] += e.P.PinPenalty
+			accV[idx] += e.P.PinPenalty
+		}
+		var pts []geom.Point
+		lo, hi = par.ShardRange(w, W, nNets)
+		for n := lo; n < hi; n++ {
+			if (n-lo)%256 == 0 {
+				if err := flow.Check(ctx); err != nil {
+					return err
+				}
+			}
+			pts = e.stampNet(n, &e.nets[n], pts)
+			for _, s := range e.nets[n].stamps {
+				accH[s.idx] += s.dh
+				accV[s.idx] += s.dv
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// Journals and pin keys are partially overwritten; make the next
+		// call start clean.
+		e.built = false
+		e.forceRebuild = true
+		return err
+	}
+	e.stats.LastTopoWall = since(tTopo)
+
+	// Deterministic parallel merge: each worker owns a disjoint Gcell
+	// range and sums the shard accumulators in fixed shard order, so the
+	// result is independent of scheduling.
+	tApply := now()
+	par.ForN(e.P.Workers, W, func(w int) {
+		lo, hi := par.ShardRange(w, W, size)
+		for g := lo; g < hi; g++ {
+			var h, v, pn float64
+			for k := 0; k < W; k++ {
+				h += e.accH[k][g]
+				v += e.accV[k][g]
+				pn += e.accPins[k][g]
+			}
+			e.baseH[g], e.baseV[g], e.basePins[g] = h, v, pn
+		}
+	})
+	e.stats.LastApplyWall = since(tApply)
+
+	for _, n := range e.dirty {
+		e.dirtyMark[n] = false
+	}
+	e.dirty = e.dirty[:0]
+	e.built = true
+	e.forceRebuild = false
+	e.lastP = e.P
+	e.sinceRebuild = 0
+	e.stats.FullRebuilds++
+	e.stats.LastReason = reason
+	e.stats.LastDirtyNets = nNets
+	e.stats.LastMovedPins = nPins
+	e.stats.LastPinWall = 0
+	e.stats.CacheMisses += uint64(nNets)
+	e.rebuildSegs()
+	return nil
+}
+
+// incremental updates the base demand in O(moved pins + dirty nets): scan
+// pins in parallel shards for Gcell crossings, apply their pin-penalty
+// deltas, subtract the journaled stamps of dirty nets, rebuild their
+// topologies in parallel, and re-add the fresh stamps.
+func (e *Estimator) incremental(ctx context.Context) error {
+	nPins := len(e.pinCell)
+	tPin := now()
+	S := e.shards(nPins)
+	if len(e.movedShards) != S {
+		e.movedShards = make([][]movedPin, S)
+	}
+	// The scan mutates nothing, so a cancel here leaves the engine fully
+	// consistent.
+	err := par.ForErrN(ctx, S, S, func(w int) error {
+		lo, hi := par.ShardRange(w, S, nPins)
+		mv := e.movedShards[w][:0]
+		for p := lo; p < hi; p++ {
+			i, j := e.M.GcellOf(e.d.PinPos(p))
+			idx := int32(e.M.Index(i, j))
+			if idx != e.pinCell[p] {
+				mv = append(mv, movedPin{pin: int32(p), from: e.pinCell[p], to: idx})
+			}
+		}
+		e.movedShards[w] = mv
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Apply pin deltas and mark dirty nets, in shard (= pin) order.
+	moved := 0
+	for _, shard := range e.movedShards {
+		for _, mp := range shard {
+			e.basePins[mp.from]--
+			e.basePins[mp.to]++
+			e.baseH[mp.from] -= e.P.PinPenalty
+			e.baseH[mp.to] += e.P.PinPenalty
+			e.baseV[mp.from] -= e.P.PinPenalty
+			e.baseV[mp.to] += e.P.PinPenalty
+			e.pinCell[mp.pin] = mp.to
+			if n := e.d.Pins[mp.pin].Net; n >= 0 && n < len(e.dirtyMark) && !e.dirtyMark[n] {
+				e.dirtyMark[n] = true
+				e.dirty = append(e.dirty, n)
+			}
+			moved++
+		}
+	}
+	sort.Ints(e.dirty)
+	e.stats.LastPinWall = since(tPin)
+
+	// A mostly-dirty design gains nothing from subtract/re-add; escalate
+	// to the sharded full rebuild. The pin deltas above are discarded by
+	// the rebuild, which recomputes base demand from zero.
+	if len(e.dirty)*2 > len(e.nets) {
+		return e.fullRebuild(ctx, "dirty-majority")
+	}
+
+	dirty := e.dirty
+	tApply := now()
+	for _, n := range dirty {
+		e.applyJournal(&e.nets[n], -1)
+	}
+	applyWall := since(tApply)
+
+	tTopo := now()
+	S2 := e.shards(len(dirty))
+	err = par.ForErrN(ctx, S2, S2, func(w int) error {
+		lo, hi := par.ShardRange(w, S2, len(dirty))
+		var pts []geom.Point
+		for k := lo; k < hi; k++ {
+			if (k-lo)%256 == 0 {
+				if err := flow.Check(ctx); err != nil {
+					return err
+				}
+			}
+			pts = e.stampNet(dirty[k], &e.nets[dirty[k]], pts)
+		}
+		return nil
+	})
+	if err != nil {
+		// Dirty journals were subtracted and possibly re-stamped halfway;
+		// only a rebuild restores consistency.
+		e.built = false
+		e.forceRebuild = true
+		return err
+	}
+	e.stats.LastTopoWall = since(tTopo)
+
+	tApply = now()
+	for _, n := range dirty {
+		e.applyJournal(&e.nets[n], +1)
+	}
+	e.stats.LastApplyWall = applyWall + since(tApply)
+
+	for _, n := range dirty {
+		e.dirtyMark[n] = false
+	}
+	nDirty := len(dirty)
+	e.dirty = e.dirty[:0]
+	e.sinceRebuild++
+	e.stats.IncrementalCalls++
+	e.stats.LastReason = "incremental"
+	e.stats.LastDirtyNets = nDirty
+	e.stats.LastMovedPins = moved
+	e.stats.CacheHits += uint64(len(e.nets) - nDirty)
+	e.stats.CacheMisses += uint64(nDirty)
+	e.rebuildSegs()
+	return nil
+}
+
+// applyJournal adds (sign +1) or subtracts (sign -1) a net's journaled
+// stamps from the base demand.
+func (e *Estimator) applyJournal(j *netJournal, sign float64) {
+	for _, s := range j.stamps {
+		e.baseH[s.idx] += sign * s.dh
+		e.baseV[s.idx] += sign * s.dv
+	}
+}
+
+// rebuildSegs concatenates the journaled I-segments in net order, so the
+// expansion processes segments in the same order a from-scratch pass
+// would, regardless of which nets were re-stamped.
+func (e *Estimator) rebuildSegs() {
+	e.Segs = e.Segs[:0]
+	for n := range e.nets {
+		e.Segs = append(e.Segs, e.nets[n].segs...)
+	}
+}
+
+func now() time.Time              { return time.Now() }
+func since(t time.Time) time.Duration { return time.Since(t) }

@@ -1,0 +1,423 @@
+package cong
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"puffer/internal/netlist"
+)
+
+// randomDesign builds a reproducible random design with movable cells and
+// small multi-pin nets, the workload shape of the in-loop estimator.
+func randomDesign(rng *rand.Rand, nCells, nNets int) *netlist.Design {
+	d := testDesign()
+	for c := 0; c < nCells; c++ {
+		d.AddCell(netlist.Cell{
+			W: 0.8, H: 0.8,
+			X: rng.Float64() * 31,
+			Y: rng.Float64() * 31,
+		})
+	}
+	for n := 0; n < nNets; n++ {
+		net := d.AddNet("n", 1)
+		deg := 2 + rng.Intn(3)
+		for k := 0; k < deg; k++ {
+			d.Connect(rng.Intn(nCells), net, 0.4, 0.4)
+		}
+	}
+	return d
+}
+
+// moveSomeCells displaces a fraction of the cells by up to two Gcells,
+// clamped to the region — the "<10% of nets move per call" workload.
+func moveSomeCells(rng *rand.Rand, d *netlist.Design, frac float64) {
+	for ci := range d.Cells {
+		if rng.Float64() >= frac {
+			continue
+		}
+		c := &d.Cells[ci]
+		c.X = math.Min(31, math.Max(0, c.X+(rng.Float64()-0.5)*16))
+		c.Y = math.Min(31, math.Max(0, c.Y+(rng.Float64()-0.5)*16))
+	}
+}
+
+func demandMaxDiff(a, b *Map) float64 {
+	worst := 0.0
+	for i := range a.DmdH {
+		worst = math.Max(worst, math.Abs(a.DmdH[i]-b.DmdH[i]))
+		worst = math.Max(worst, math.Abs(a.DmdV[i]-b.DmdV[i]))
+		worst = math.Max(worst, math.Abs(a.Pins[i]-b.Pins[i]))
+	}
+	return worst
+}
+
+// TestIncrementalMatchesScratchRandomMoves is the engine's core
+// equivalence contract: across a randomized move sequence the incremental
+// path stays within floating-point drift of a from-scratch estimate, and a
+// forced rebuild restores bit-exact agreement. Expansion is disabled here
+// because its congested/slack comparisons can tie-break differently under
+// 1-ulp base differences; the exact-after-rebuild case with expansion is
+// covered separately.
+func TestIncrementalMatchesScratchRandomMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randomDesign(rng, 80, 120)
+	p := Params{PinPenalty: 0.2, Workers: 3, RebuildEvery: -1}
+	inc := NewEstimator(d, 8, 8, p)
+	scr := NewEstimator(d, 8, 8, p)
+
+	for step := 0; step < 25; step++ {
+		moveSomeCells(rng, d, 0.08)
+		scr.ForceRebuild()
+		ms := scr.Estimate()
+		mi := inc.Estimate()
+		if diff := demandMaxDiff(mi, ms); diff > 1e-9 {
+			t.Fatalf("step %d: incremental drifted %g from scratch", step, diff)
+		}
+	}
+
+	st := inc.Stats()
+	if st.IncrementalCalls == 0 {
+		t.Fatal("no incremental calls recorded; the whole test ran on rebuilds")
+	}
+	if st.HitRate() < 0.5 {
+		t.Errorf("cache hit rate = %.2f, want > 0.5 for an 8%%-move workload", st.HitRate())
+	}
+
+	// Bit-exactness after a forced rebuild at the same worker count.
+	inc.ForceRebuild()
+	mi := inc.Estimate()
+	scr.ForceRebuild()
+	ms := scr.Estimate()
+	for i := range mi.DmdH {
+		if mi.DmdH[i] != ms.DmdH[i] || mi.DmdV[i] != ms.DmdV[i] || mi.Pins[i] != ms.Pins[i] {
+			t.Fatalf("post-rebuild mismatch at %d: H %v vs %v, V %v vs %v",
+				i, mi.DmdH[i], ms.DmdH[i], mi.DmdV[i], ms.DmdV[i])
+		}
+	}
+	if got := inc.Stats().LastReason; got != "forced" {
+		t.Errorf("LastReason after ForceRebuild = %q, want %q", got, "forced")
+	}
+}
+
+// TestIncrementalExactWithExpansionAfterRebuild: with the detour expansion
+// active, a forced rebuild makes the incremental engine's published map
+// bit-identical to a from-scratch estimator — the expansion is a pure
+// function of the (identical) base demand and segment order.
+func TestIncrementalExactWithExpansionAfterRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := randomDesign(rng, 60, 90)
+	p := Params{PinPenalty: 0.2, ExpandRadius: 3, TransferRatio: 0.5, Workers: 2, RebuildEvery: -1}
+	inc := NewEstimator(d, 8, 8, p)
+	scr := NewEstimator(d, 8, 8, p)
+	// Choke the same row on both maps so the expansion actually fires.
+	for i := 0; i < 8; i++ {
+		inc.M.CapH[inc.M.Index(i, 3)] = 0.2
+		scr.M.CapH[scr.M.Index(i, 3)] = 0.2
+	}
+	for step := 0; step < 6; step++ {
+		moveSomeCells(rng, d, 0.1)
+		inc.Estimate()
+	}
+	inc.ForceRebuild()
+	mi := inc.Estimate()
+	ms := scr.Estimate()
+	for i := range mi.DmdH {
+		if mi.DmdH[i] != ms.DmdH[i] || mi.DmdV[i] != ms.DmdV[i] {
+			t.Fatalf("expansion mismatch at %d: H %v vs %v, V %v vs %v",
+				i, mi.DmdH[i], ms.DmdH[i], mi.DmdV[i], ms.DmdV[i])
+		}
+	}
+}
+
+// TestIncrementalDeterministicAcrossRuns: the same design, params, and
+// move sequence produce bit-identical maps on every call — the parallel
+// phases merge in static shard order.
+func TestIncrementalDeterministicAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		rng := rand.New(rand.NewSource(3))
+		d := randomDesign(rng, 70, 100)
+		e := NewEstimator(d, 8, 8, Params{PinPenalty: 0.15, ExpandRadius: 2, TransferRatio: 0.4, Workers: 4})
+		var out []float64
+		for step := 0; step < 8; step++ {
+			moveSomeCells(rng, d, 0.1)
+			m := e.Estimate()
+			out = append(out, m.DmdH...)
+			out = append(out, m.DmdV...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestJournalSubtractRestore: moving a cell across a Gcell boundary and
+// back restores the original demand (the journal subtract/re-add cycle is
+// lossless for this round trip, up to FP association error).
+func TestJournalSubtractRestore(t *testing.T) {
+	d := horizontalPairDesign()
+	// Extra stationary nets so one dirty net stays a minority (a lone net
+	// would escalate to the dirty-majority rebuild).
+	for k := 0; k < 3; k++ {
+		a := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 3, Y: 4 * float64(k+3)})
+		b := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 21, Y: 4 * float64(k+3)})
+		n := d.AddNet("still", 1)
+		d.Connect(a, n, 0.4, 0.4)
+		d.Connect(b, n, 0.4, 0.4)
+	}
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0.3, RebuildEvery: -1})
+	first := e.Estimate()
+	origH := append([]float64(nil), first.DmdH...)
+	origPins := append([]float64(nil), first.Pins...)
+
+	x0 := d.Cells[0].X
+	d.Cells[0].X = x0 + 8 // two Gcells right
+	e.Estimate()
+	if e.Stats().LastDirtyNets != 1 || e.Stats().LastMovedPins != 1 {
+		t.Fatalf("stats after move: %+v, want 1 dirty net / 1 moved pin", e.Stats())
+	}
+
+	d.Cells[0].X = x0
+	m := e.Estimate()
+	for i := range origH {
+		if math.Abs(m.DmdH[i]-origH[i]) > 1e-12 || math.Abs(m.Pins[i]-origPins[i]) > 1e-12 {
+			t.Fatalf("demand not restored at %d: %v vs %v (pins %v vs %v)",
+				i, m.DmdH[i], origH[i], m.Pins[i], origPins[i])
+		}
+	}
+}
+
+// TestSubGcellMoveIsClean: motion that stays inside a Gcell marks nothing
+// dirty — dirtiness is keyed on the quantized pin positions.
+func TestSubGcellMoveIsClean(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{RebuildEvery: -1})
+	e.Estimate()
+	d.Cells[0].X += 0.5 // Gcells are 4 units wide; stays in place
+	e.Estimate()
+	st := e.Stats()
+	if st.LastReason != "incremental" || st.LastDirtyNets != 0 || st.LastMovedPins != 0 {
+		t.Errorf("sub-Gcell move: reason=%q dirty=%d moved=%d, want clean incremental",
+			st.LastReason, st.LastDirtyNets, st.LastMovedPins)
+	}
+}
+
+// TestPeriodicRebuild: RebuildEvery bounds how many consecutive calls may
+// run incrementally.
+func TestPeriodicRebuild(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{RebuildEvery: 4})
+	for call := 0; call < 6; call++ {
+		e.Estimate()
+		st := e.Stats()
+		want := "incremental"
+		switch call {
+		case 0:
+			want = "first-build"
+		case 5: // four incremental calls since the first build
+			want = "periodic"
+		}
+		if st.LastReason != want {
+			t.Fatalf("call %d: reason = %q, want %q", call, st.LastReason, want)
+		}
+	}
+	if got := e.Stats().FullRebuilds; got != 2 {
+		t.Errorf("FullRebuilds = %d, want 2", got)
+	}
+}
+
+// TestDirtyMajorityEscalates: when most nets are dirty the engine switches
+// to the sharded full rebuild instead of churning through the journal.
+func TestDirtyMajorityEscalates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randomDesign(rng, 50, 60)
+	e := NewEstimator(d, 8, 8, Params{RebuildEvery: -1})
+	e.Estimate()
+	moveSomeCells(rng, d, 1.0) // everything moves
+	e.Estimate()
+	if got := e.Stats().LastReason; got != "dirty-majority" {
+		t.Errorf("LastReason = %q, want %q", got, "dirty-majority")
+	}
+}
+
+// TestParamsChangeTriggersRebuild: mutating the estimator's parameters
+// invalidates the journal (stamp values depend on them).
+func TestParamsChangeTriggersRebuild(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{PinPenalty: 0.1})
+	e.Estimate()
+	e.P.PinPenalty = 0.4
+	m := e.Estimate()
+	if got := e.Stats().LastReason; got != "params-changed" {
+		t.Errorf("LastReason = %q, want %q", got, "params-changed")
+	}
+	idx := m.Index(0, 2) // pin Gcell of the pair design
+	if m.Pins[idx] == 0 {
+		t.Fatal("pin missing from expected Gcell")
+	}
+	wantH := 1 + 0.4 // segment demand + new pin penalty
+	if math.Abs(m.DmdH[idx]-wantH) > 1e-12 {
+		t.Errorf("DmdH = %v, want %v after param change", m.DmdH[idx], wantH)
+	}
+}
+
+// TestDesignResizeTriggersRebuild: adding nets or cells after the first
+// estimate is detected and handled by a full rebuild.
+func TestDesignResizeTriggersRebuild(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{})
+	e.Estimate()
+	a := d.AddCell(netlist.Cell{W: 1, H: 1, X: 5, Y: 20})
+	b := d.AddCell(netlist.Cell{W: 1, H: 1, X: 25, Y: 20})
+	n := d.AddNet("late", 1)
+	d.Connect(a, n, 0.5, 0.5)
+	d.Connect(b, n, 0.5, 0.5)
+	m := e.Estimate()
+	if got := e.Stats().LastReason; got != "design-resized" {
+		t.Errorf("LastReason = %q, want %q", got, "design-resized")
+	}
+	if got := m.DmdH[m.Index(3, 5)]; got != 1 {
+		t.Errorf("new net not stamped: DmdH = %v, want 1", got)
+	}
+}
+
+// TestSyncTopologiesSharing: the tree cache refreshes dirty nets only and
+// serves clean calls entirely from the journal.
+func TestSyncTopologiesSharing(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{RebuildEvery: -1})
+	ctx := context.Background()
+	trees, err := e.SyncTopologies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != len(d.Nets) || len(trees[0].Edges) == 0 {
+		t.Fatalf("trees = %d nets, first has %d edges", len(trees), len(trees[0].Edges))
+	}
+	before := e.Stats()
+
+	// Clean second call: no net re-stamped.
+	if _, err := e.SyncTopologies(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("clean SyncTopologies re-stamped nets: misses %d -> %d", before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheHits != before.CacheHits+1 {
+		t.Errorf("CacheHits %d -> %d, want +1 (one clean net)", before.CacheHits, after.CacheHits)
+	}
+
+	// Cross-boundary move: the net's topology is rebuilt in place.
+	d.Cells[1].X -= 12
+	trees, err = e.SyncTopologies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trees[0].Nodes[1].P.X; math.Abs(got-(26.5-12)) > 1e-12 {
+		t.Errorf("tree node not refreshed: X = %v, want %v", got, 26.5-12)
+	}
+}
+
+// TestEstimateCtxCancel: a canceled context aborts the refresh, and the
+// next uncanceled call recovers via a full rebuild.
+func TestEstimateCtxCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomDesign(rng, 40, 60)
+	e := NewEstimator(d, 8, 8, Params{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.EstimateCtx(ctx); err == nil {
+		t.Fatal("EstimateCtx ignored a canceled context")
+	}
+	m, err := e.EstimateCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := NewEstimator(d, 8, 8, Params{Workers: 2}).Estimate()
+	if diff := demandMaxDiff(m, scratch); diff != 0 {
+		t.Errorf("post-cancel recovery differs from scratch by %g", diff)
+	}
+}
+
+// --- Detour-expansion clipping at the remaining grid borders (the bottom
+// edge and left column are covered in stats_test.go). ---
+
+func chokedEstimate(t *testing.T, e *Estimator) {
+	t.Helper()
+	e.Estimate()
+	for idx := range e.M.DmdH {
+		if e.M.DmdH[idx] < -1e-9 || e.M.DmdV[idx] < -1e-9 {
+			t.Fatalf("negative demand at %d: H=%v V=%v", idx, e.M.DmdH[idx], e.M.DmdV[idx])
+		}
+	}
+}
+
+// TestExpansionTopEdgeClipping: a congested horizontal segment on the top
+// row with ExpandRadius far past H-1 must clip its row search at the grid.
+func TestExpansionTopEdgeClipping(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 1, Y: 31})
+	b := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 29, Y: 31})
+	n := d.AddNet("top", 1)
+	d.Connect(a, n, 0.4, 0.4)
+	d.Connect(b, n, 0.4, 0.4)
+	e := NewEstimator(d, 8, 8, Params{ExpandRadius: 100, TransferRatio: 0.5})
+	for i := 0; i < e.M.W; i++ {
+		e.M.CapH[e.M.Index(i, e.M.H-1)] = 0.01
+	}
+	chokedEstimate(t, e)
+	// The transfer conserves horizontal demand.
+	total := 0.0
+	for _, v := range e.M.DmdH {
+		total += v
+	}
+	if math.Abs(total-8) > 1e-9 { // pins in Gcells 0 and 7: 8-Gcell span
+		t.Errorf("horizontal demand not conserved: %v, want 8", total)
+	}
+}
+
+// TestExpansionRightEdgeClipping: a congested vertical segment on the last
+// column with a huge radius must clip its column search at W-1.
+func TestExpansionRightEdgeClipping(t *testing.T) {
+	d := testDesign()
+	a := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 31, Y: 1})
+	b := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 31, Y: 29})
+	c := d.AddCell(netlist.Cell{W: 0.8, H: 0.8, X: 15, Y: 15})
+	n := d.AddNet("right", 1)
+	d.Connect(a, n, 0.4, 0.4)
+	d.Connect(b, n, 0.4, 0.4)
+	d.Connect(c, n, 0.4, 0.4)
+	e := NewEstimator(d, 8, 8, Params{ExpandRadius: 100, TransferRatio: 0.9})
+	for j := 0; j < e.M.H; j++ {
+		e.M.CapV[e.M.Index(e.M.W-1, j)] = 0.01
+	}
+	chokedEstimate(t, e)
+}
+
+// TestExpansionRadiusLargerThanGrid: every row choked, radius far past the
+// grid in both directions; the search must stay in bounds and, with no
+// slack anywhere, move nothing.
+func TestExpansionRadiusLargerThanGrid(t *testing.T) {
+	d := horizontalPairDesign()
+	e := NewEstimator(d, 8, 8, Params{ExpandRadius: 1000, TransferRatio: 0.5})
+	for idx := range e.M.CapH {
+		e.M.CapH[idx] = 0.01
+	}
+	before := make([]float64, len(e.M.DmdH))
+	chokedEstimate(t, e)
+	copy(before, e.M.DmdH)
+	// Re-estimate: same demand (no slack found, nothing transferred, and
+	// the incremental path reproduces it).
+	e.Estimate()
+	for i := range before {
+		if e.M.DmdH[i] != before[i] {
+			t.Fatalf("demand changed between identical estimates at %d", i)
+		}
+	}
+}

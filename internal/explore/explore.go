@@ -270,6 +270,10 @@ type Explorer struct {
 	// group exploration can run in parallel). Eval must then be
 	// goroutine-safe.
 	Parallel bool
+	// Workers caps how many groups run concurrently when Parallel is set
+	// (0 = all at once). Each group's trials run full placement flows, so
+	// deployments bound peak memory with this knob.
+	Workers  int
 	Seed     int64
 	Logf     func(format string, args ...any)
 
@@ -495,10 +499,18 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 		}
 		if e.Parallel {
 			var wg sync.WaitGroup
+			var sem chan struct{}
+			if e.Workers > 0 {
+				sem = make(chan struct{}, e.Workers)
+			}
 			for gi := range groupNames {
 				wg.Add(1)
 				go func(gi int) {
 					defer wg.Done()
+					if sem != nil {
+						sem <- struct{}{}
+						defer func() { <-sem }()
+					}
 					runGroup(gi)
 				}(gi)
 			}

@@ -53,6 +53,8 @@ type Params struct {
 	// ZSamples caps how many interior Z-path bend positions are tried per
 	// two-point net when computing pin congestion.
 	ZSamples int
+	// Workers caps the extraction parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultParams returns the hand-tuned defaults; the strategy exploration
@@ -94,7 +96,7 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 	satPd := newSAT(pd, m.W, m.H)
 
 	// Local and CNN-inspired features per cell.
-	if err := par.ForErr(ctx, len(d.Cells), func(ci int) error {
+	if err := par.ForErrN(ctx, p.Workers, len(d.Cells), func(ci int) error {
 		c := &d.Cells[ci]
 		if c.Fixed {
 			return nil
@@ -145,7 +147,7 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 	for i := range pinCg {
 		pinCg[i] = math.Inf(1)
 	}
-	if err := par.ForErr(ctx, len(d.Nets), func(n int) error {
+	if err := par.ForErrN(ctx, p.Workers, len(d.Nets), func(n int) error {
 		if n >= len(trees) {
 			return nil
 		}
@@ -171,7 +173,7 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 	}); err != nil {
 		return s, err
 	}
-	if err := par.ForErr(ctx, len(d.Cells), func(ci int) error {
+	if err := par.ForErrN(ctx, p.Workers, len(d.Cells), func(ci int) error {
 		c := &d.Cells[ci]
 		if c.Fixed {
 			return nil

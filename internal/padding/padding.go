@@ -226,7 +226,13 @@ func (o *Optimizer) RunCtx(ctx context.Context) (RunInfo, error) {
 	i := o.iter
 	info := RunInfo{Iter: i}
 
-	cm := o.est.Estimate()
+	cm, err := o.est.EstimateCtx(ctx)
+	if err != nil {
+		// Roll the call back: the estimator rebuilds itself on the next
+		// call and no padding was touched.
+		o.iter--
+		return RunInfo{}, err
+	}
 	o.LastMap = cm
 	info.EstHOF, info.EstVOF = cm.OverflowRatios()
 	feats, err := feature.ExtractCtx(ctx, o.d, cm, o.est.Trees, o.S.Feat)

@@ -1,7 +1,9 @@
-// Package par provides the tiny data-parallel helpers used by feature
-// extraction, routing, and the experiment harness. The paper's experiments
-// run with eight threads; these helpers spread index ranges across
-// GOMAXPROCS workers. ForErr is the context-aware variant: it stops
+// Package par provides the tiny data-parallel helpers used by congestion
+// estimation, feature extraction, routing, and the experiment harness. The
+// paper's experiments run with eight threads; these helpers spread index
+// ranges across a configurable number of workers (GOMAXPROCS by default —
+// heavy-traffic deployments cap it via the Workers knobs threaded through
+// pipeline.Config). ForErr is the context-aware variant: it stops
 // scheduling new work on cancellation or first error, which is what lets
 // the pipeline observe a cancel within one net batch / feature chunk.
 package par
@@ -15,27 +17,57 @@ import (
 	"puffer/internal/flow"
 )
 
+// Workers resolves a requested worker count: n itself when positive,
+// GOMAXPROCS when n is zero or negative.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ShardRange returns the half-open index range [lo, hi) of shard w when n
+// items are split across k shards as evenly as possible (the first n%k
+// shards get one extra item). Shards are contiguous and ordered, so a
+// merge that visits shards 0..k-1 in order is deterministic.
+func ShardRange(w, k, n int) (lo, hi int) {
+	if k <= 0 || n <= 0 || w < 0 || w >= k {
+		return 0, 0
+	}
+	base := n / k
+	rem := n % k
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
 // For runs fn(i) for every i in [0, n) across min(GOMAXPROCS, n) workers.
 // fn must be safe to call concurrently for distinct indices. For blocks
 // until all calls complete.
-func For(n int, fn func(i int)) {
+func For(n int, fn func(i int)) { ForN(0, n, fn) }
+
+// ForN is For with an explicit worker cap (0 = GOMAXPROCS).
+func ForN(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	w := Workers(workers)
+	if w > n {
+		w = n
 	}
-	if workers <= 1 {
+	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	chunk := (n + w - 1) / w
+	for k := 0; k < w; k++ {
+		lo := k * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -67,14 +99,27 @@ const forErrChunk = 16
 // when the context ended first. Indices beyond the first failure may or
 // may not have been visited.
 func ForErr(ctx context.Context, n int, fn func(i int) error) error {
+	return ForErrN(ctx, 0, n, fn)
+}
+
+// ForErrN is ForErr with an explicit worker cap (0 = GOMAXPROCS). When n
+// is small relative to the worker count — the sharded-accumulator callers
+// pass one index per shard — chunks shrink to a single index so every
+// worker gets a share.
+func ForErrN(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return flow.Check(ctx)
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > (n+forErrChunk-1)/forErrChunk {
-		workers = (n + forErrChunk - 1) / forErrChunk
+	maxWorkers := Workers(workers)
+	chunk := forErrChunk
+	if n <= maxWorkers*forErrChunk {
+		chunk = 1
 	}
-	if workers <= 1 {
+	w := maxWorkers
+	if nc := (n + chunk - 1) / chunk; w > nc {
+		w = nc
+	}
+	if w <= 1 {
 		for i := 0; i < n; i++ {
 			if i%forErrChunk == 0 {
 				if err := flow.Check(ctx); err != nil {
@@ -103,7 +148,7 @@ func ForErr(ctx context.Context, n int, fn func(i int) error) error {
 		}
 		mu.Unlock()
 	}
-	for w := 0; w < workers; w++ {
+	for k := 0; k < w; k++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -112,11 +157,11 @@ func ForErr(ctx context.Context, n int, fn func(i int) error) error {
 					fail(err)
 					return
 				}
-				lo := int(next.Add(forErrChunk)) - forErrChunk
+				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
 					return
 				}
-				hi := lo + forErrChunk
+				hi := lo + chunk
 				if hi > n {
 					hi = n
 				}
@@ -131,4 +176,11 @@ func ForErr(ctx context.Context, n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -50,6 +50,15 @@ type Config struct {
 	// classic pattern-routing fast path; quality is unchanged where the
 	// chip has slack and A* still handles everything congested.
 	PatternFirst bool
+	// Workers caps the parallel net decomposition (0 = GOMAXPROCS).
+	Workers int
+	// Topo, when set, is the placement flow's congestion estimator: the
+	// router reuses its incrementally maintained RSMT topologies instead
+	// of rebuilding every net from scratch, provided the estimator's Gcell
+	// grid matches the router's (the pipeline configures both from the
+	// same GridFor heuristic). A grid mismatch silently falls back to
+	// per-net rsmt.Build.
+	Topo *cong.Estimator
 }
 
 // DefaultConfig returns the evaluation settings.
@@ -126,21 +135,41 @@ func RouteCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, erro
 		}
 	}
 
+	// When the placement flow's estimator shares our Gcell grid, reuse its
+	// incrementally maintained RSMT topologies instead of rebuilding every
+	// net (the refresh re-stamps only nets whose pins crossed a Gcell
+	// boundary since the last estimate).
+	var cached []rsmt.Tree
+	if cfg.Topo != nil {
+		if tw, th := cfg.Topo.Grid(); tw == cfg.GridW && th == cfg.GridH {
+			var err error
+			cached, err = cfg.Topo.SyncTopologies(ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	// Decompose all nets into segments via RSMT. Nets are independent, so
 	// the topology construction runs as a cancelable parallel net batch;
 	// the per-net results are flattened in net order, keeping the segment
 	// sequence (and therefore the negotiation) deterministic.
 	segsByNet := make([][]segment, len(d.Nets))
-	if err := par.ForErr(ctx, len(d.Nets), func(n int) error {
+	if err := par.ForErrN(ctx, cfg.Workers, len(d.Nets), func(n int) error {
 		net := &d.Nets[n]
 		if len(net.Pins) < 2 {
 			return nil
 		}
-		pts := make([]geom.Point, 0, len(net.Pins))
-		for _, pid := range net.Pins {
-			pts = append(pts, d.PinPos(pid))
+		var tree rsmt.Tree
+		if n < len(cached) {
+			tree = cached[n]
+		} else {
+			pts := make([]geom.Point, 0, len(net.Pins))
+			for _, pid := range net.Pins {
+				pts = append(pts, d.PinPos(pid))
+			}
+			tree = rsmt.Build(pts)
 		}
-		tree := rsmt.Build(pts)
 		for _, e := range tree.Edges {
 			ai, aj := r.m.GcellOf(tree.Nodes[e.A].P)
 			bi, bj := r.m.GcellOf(tree.Nodes[e.B].P)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"puffer/internal/cong"
 	"puffer/internal/dp"
 	"puffer/internal/geom"
 	"puffer/internal/legal"
@@ -52,6 +53,12 @@ type Config struct {
 	// CongGridW/H size the congestion estimation Gcell grid; zero picks
 	// roughly two placement rows per Gcell.
 	CongGridW, CongGridH int
+	// Workers caps the flow's data parallelism — congestion estimation,
+	// feature extraction, and router net decomposition (0 = GOMAXPROCS).
+	// Heavy-traffic deployments set it to bound placement CPU usage; the
+	// parallel estimator merges shards deterministically, so results are
+	// reproducible for a fixed worker count.
+	Workers int
 	// Logf, when non-nil, receives stage-by-stage progress lines.
 	Logf func(format string, args ...any)
 }
@@ -85,6 +92,11 @@ type StageStats struct {
 	// AllocsDelta is the number of heap objects allocated while the stage
 	// ran (process-wide mallocs delta; concurrent allocators inflate it).
 	AllocsDelta uint64
+	// Estimator, when non-nil, is a snapshot of the congestion engine's
+	// statistics (rebuild reason, dirty-net counts, cache hit rate,
+	// per-phase wall time) taken as the stage finished. The placement
+	// stage records it whenever the routability optimizer ran.
+	Estimator *cong.Stats
 }
 
 // Result reports a finished (or canceled) PUFFER run. It is the same type
@@ -135,6 +147,7 @@ type RunContext struct {
 
 	opt        *padding.Optimizer
 	stageIters int
+	estStats   *cong.Stats
 }
 
 // NewRunContext validates d and builds the shared context for one run.
@@ -145,6 +158,16 @@ func NewRunContext(d *netlist.Design, cfg Config) (*RunContext, error) {
 	gw, gh := cfg.CongGridW, cfg.CongGridH
 	if gw == 0 || gh == 0 {
 		gw, gh = GridFor(d)
+	}
+	// Propagate the flow-level worker cap into the engine layers that have
+	// their own knob, unless the caller tuned them individually.
+	if cfg.Workers != 0 {
+		if cfg.Strategy.Cong.Workers == 0 {
+			cfg.Strategy.Cong.Workers = cfg.Workers
+		}
+		if cfg.Strategy.Feat.Workers == 0 {
+			cfg.Strategy.Feat.Workers = cfg.Workers
+		}
 	}
 	return &RunContext{Design: d, Cfg: cfg, GridW: gw, GridH: gh, Result: &Result{}}, nil
 }
@@ -162,6 +185,11 @@ func (rc *RunContext) Logf(format string, args ...any) {
 // SetIters reports the running stage's iteration count; the pipeline
 // copies it into the stage's StageStats when the stage returns.
 func (rc *RunContext) SetIters(n int) { rc.stageIters = n }
+
+// SetEstimatorStats attaches a congestion-engine statistics snapshot to
+// the running stage; the pipeline copies it into the stage's StageStats
+// when the stage returns.
+func (rc *RunContext) SetEstimatorStats(s cong.Stats) { rc.estStats = &s }
 
 // PadOptimizer returns the run's routability optimizer, building it on
 // first use. Stages share one optimizer so the padding history (pt(c) of

@@ -95,6 +95,7 @@ func (p *Pipeline) runFrom(ctx context.Context, rc *RunContext, start int) error
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		rc.stageIters = 0
+		rc.estStats = nil
 		stageStart := time.Now()
 		err := st.Run(ctx, rc)
 		wall := time.Since(stageStart)
@@ -104,6 +105,7 @@ func (p *Pipeline) runFrom(ctx context.Context, rc *RunContext, start int) error
 			Wall:        wall,
 			Iters:       rc.stageIters,
 			AllocsDelta: after.Mallocs - before.Mallocs,
+			Estimator:   rc.estStats,
 		}
 		rc.Result.Stages = append(rc.Result.Stages, stats)
 		if p.OnStage != nil {

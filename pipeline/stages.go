@@ -69,6 +69,9 @@ func GlobalPlace() Stage {
 		gp, err := placer.RunCtx(ctx, hook)
 		rc.Result.GP = *gp
 		rc.SetIters(gp.Iters)
+		if opt.Iter() > 0 {
+			rc.SetEstimatorStats(opt.Estimator().Stats())
+		}
 		if err == nil {
 			err = hookErr
 		}
@@ -127,6 +130,21 @@ func DetailedPlace() Stage {
 // router's own defaults.
 func Route(cfg router.Config) Stage {
 	return StageFunc{StageName: StageRoute, Fn: func(ctx context.Context, rc *RunContext) error {
+		if cfg.GridW == 0 && cfg.GridH == 0 {
+			// Share the flow's Gcell grid so the router can reuse the
+			// estimator's cached topologies below.
+			cfg.GridW, cfg.GridH = rc.GridW, rc.GridH
+		}
+		if cfg.Workers == 0 {
+			cfg.Workers = rc.Cfg.Workers
+		}
+		if cfg.Topo == nil && rc.opt != nil && rc.opt.Iter() > 0 {
+			// The routability optimizer already maintains per-net RSMT
+			// topologies incrementally; let the router reuse them instead
+			// of rebuilding every net. (Only when the optimizer actually
+			// ran — otherwise the estimator would pay a full build here.)
+			cfg.Topo = rc.opt.Estimator()
+		}
 		rr, err := router.RouteCtx(ctx, rc.Design, cfg)
 		if err != nil {
 			return err
