@@ -4,6 +4,11 @@
 // BenchmarkEstimateIncremental appear in the input, the report includes
 // their speedup ratio.
 //
+// -ratio A/B adds a named ns/op ratio of two benchmarks in the input to
+// the report; CI uses it to publish the telemetry-overhead factor
+// (PlaceIterObsEnabled over PlaceIterObsDisabled) in BENCH_obs.json. The
+// flag repeats.
+//
 // Usage:
 //
 //	go test -run=NONE -bench='BenchmarkEstimate' -benchtime=50x . |
@@ -38,10 +43,28 @@ type Report struct {
 	// SpeedupIncremental is scratch ns/op divided by incremental ns/op
 	// when both estimator benches are present (acceptance bar: >= 2).
 	SpeedupIncremental float64 `json:"speedup_incremental,omitempty"`
+	// Ratios holds the -ratio A/B results, keyed "A/B": ns/op of A
+	// divided by ns/op of B.
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+}
+
+// ratioFlags collects repeated -ratio A/B values.
+type ratioFlags []string
+
+func (r *ratioFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *ratioFlags) Set(v string) error {
+	if a, b, ok := strings.Cut(v, "/"); !ok || a == "" || b == "" {
+		return fmt.Errorf("want A/B, got %q", v)
+	}
+	*r = append(*r, v)
+	return nil
 }
 
 func main() {
 	out := flag.String("out", "BENCH_estimate.json", "output JSON file (- for stdout)")
+	var ratios ratioFlags
+	flag.Var(&ratios, "ratio", "emit ns/op ratio of two benchmarks as A/B (repeatable)")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -65,6 +88,22 @@ func main() {
 		rep.SpeedupIncremental = scratch / incr
 	}
 
+	nsPerOp := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		nsPerOp[b.Name] = b.NsPerOp
+	}
+	for _, r := range ratios {
+		a, b, _ := strings.Cut(r, "/")
+		na, nb := nsPerOp[a], nsPerOp[b]
+		if na <= 0 || nb <= 0 {
+			log.Fatalf("benchjson: -ratio %s: benchmark %q or %q missing from input", r, a, b)
+		}
+		if rep.Ratios == nil {
+			rep.Ratios = make(map[string]float64, len(ratios))
+		}
+		rep.Ratios[r] = na / nb
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -80,6 +119,9 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks", *out, len(rep.Benchmarks))
 	if rep.SpeedupIncremental > 0 {
 		fmt.Printf(", incremental speedup %.2fx", rep.SpeedupIncremental)
+	}
+	for _, r := range ratios {
+		fmt.Printf(", %s=%.3f", r, rep.Ratios[r])
 	}
 	fmt.Println(")")
 }

@@ -1,23 +1,42 @@
-// Command diag is a development harness: it compares flow variants on a
-// few profiles and prints HOF/VOF/WL/RT side by side. It is the tool used
-// to calibrate the baseline profiles against the paper's Table II shape.
+// Command diag is a development harness with two modes:
+//
+//   - default: compare flow variants on a few profiles and print
+//     HOF/VOF/WL/RT side by side — the tool used to calibrate the baseline
+//     profiles against the paper's Table II shape;
+//   - -report run.json: summarize a structured run report written by
+//     cmd/puffer -report (stage statistics, recorded metric series, final
+//     quality numbers), validating that the artifact round-trips.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"puffer"
 	"puffer/internal/baseline"
+	"puffer/internal/obs"
 	"puffer/internal/router"
 	"puffer/internal/synth"
+	"puffer/pipeline"
 )
 
 func main() {
 	scale := flag.Int("scale", 3000, "profile scale")
 	seed := flag.Int64("seed", 1, "seed")
+	reportPath := flag.String("report", "", "summarize this run report (JSON from cmd/puffer -report) instead of running comparisons")
 	flag.Parse()
+
+	if *reportPath != "" {
+		if err := summarizeReport(*reportPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	designs := []string{"CT_TOP", "MEDIA_SUBSYS", "A53_ADB_WRAP", "OR1200"}
 	variants := []string{"plain", "puffer", "commercial", "replace"}
@@ -62,4 +81,93 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// summarizeReport loads, prints, and round-trip-validates a run report.
+func summarizeReport(path string) error {
+	rep, err := obs.LoadReport(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run report %s (%s)\n", path, rep.Schema)
+	fmt.Printf("design %s: %d cells, %d nets, seed=%d\n", rep.Design, rep.Cells, rep.Nets, rep.Seed)
+
+	// Stage table, through the same fixed-format writer cmd/puffer -stats
+	// uses (StageReport carries no estimator type after decoding, so the
+	// estimator detail lines are intentionally absent here).
+	stages := make([]pipeline.StageStats, len(rep.Stages))
+	for i, sr := range rep.Stages {
+		stages[i] = pipeline.StageStats{
+			Name:        sr.Name,
+			Wall:        time.Duration(sr.WallNs),
+			Iters:       sr.Iters,
+			AllocsDelta: sr.AllocsDelta,
+		}
+	}
+	pipeline.WriteStageStats(os.Stdout, stages)
+
+	if n := len(rep.Metrics.Counters); n > 0 {
+		names := sortedKeys(rep.Metrics.Counters)
+		fmt.Printf("counters (%d):\n", n)
+		for _, k := range names {
+			fmt.Printf("  %-24s %d\n", k, rep.Metrics.Counters[k])
+		}
+	}
+	if n := len(rep.Metrics.Gauges); n > 0 {
+		names := sortedKeys(rep.Metrics.Gauges)
+		fmt.Printf("gauges (%d):\n", n)
+		for _, k := range names {
+			fmt.Printf("  %-24s %g\n", k, rep.Metrics.Gauges[k])
+		}
+	}
+	if n := len(rep.Metrics.Series); n > 0 {
+		names := sortedKeys(rep.Metrics.Series)
+		fmt.Printf("series (%d):\n", n)
+		for _, k := range names {
+			ss := rep.Metrics.Series[k]
+			if len(ss) == 0 {
+				fmt.Printf("  %-24s empty\n", k)
+				continue
+			}
+			fmt.Printf("  %-24s %d samples, first=%g last=%g\n",
+				k, len(ss), ss[0].Value, ss[len(ss)-1].Value)
+		}
+	}
+	if len(rep.Final) > 0 {
+		names := sortedKeys(rep.Final)
+		fmt.Println("final:")
+		for _, k := range names {
+			fmt.Printf("  %-24s %g\n", k, rep.Final[k])
+		}
+	}
+	fmt.Printf("stage log: %d lines\n", len(rep.StageLog))
+
+	// Round trip: re-save and reload; a report cmd/diag cannot reproduce
+	// losslessly is a bug in the schema.
+	tmp := filepath.Join(os.TempDir(), fmt.Sprintf("diag-report-%d.json", os.Getpid()))
+	defer os.Remove(tmp)
+	if err := rep.Save(tmp); err != nil {
+		return fmt.Errorf("round trip save: %w", err)
+	}
+	again, err := obs.LoadReport(tmp)
+	if err != nil {
+		return fmt.Errorf("round trip load: %w", err)
+	}
+	if again.Design != rep.Design || len(again.Stages) != len(rep.Stages) ||
+		len(again.Metrics.Series) != len(rep.Metrics.Series) {
+		return fmt.Errorf("round trip mismatch: %s/%d stages vs %s/%d stages",
+			again.Design, len(again.Stages), rep.Design, len(rep.Stages))
+	}
+	fmt.Println("round trip: ok")
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }

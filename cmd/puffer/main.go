@@ -28,6 +28,7 @@ import (
 	"puffer/internal/experiments"
 	"puffer/internal/legal"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/report"
 	"puffer/internal/router"
 	"puffer/internal/synth"
@@ -47,8 +48,12 @@ func main() {
 		noEval   = flag.Bool("noeval", false, "skip the global-routing evaluation")
 		verify   = flag.Bool("verify", true, "check placement legality after the flow")
 		layers   = flag.Bool("layers", false, "report per-layer utilization and via counts after routing")
-		trace    = flag.String("trace", "", "write the global-placement iteration trace (CSV) to this file")
-		htmlOut  = flag.String("report", "", "write an HTML placement/congestion report to this file")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing) to this path")
+		traceCSV = flag.String("trace-csv", "", "write the global-placement iteration trace (CSV) to this file")
+		repOut   = flag.String("report", "", "write the structured run report (JSON, consumed by cmd/diag -report) to this file")
+		htmlOut  = flag.String("html", "", "write an HTML placement/congestion report to this file")
+		debug    = flag.String("debug-addr", "", "serve pprof/expvar/Prometheus metrics on this address while the flow runs (e.g. :6060)")
+		metrics  = flag.String("metrics", "", "stream metric samples to this file as they are observed (.csv extension selects CSV, anything else JSON lines)")
 		strategy = flag.String("strategy", "", "JSON strategy file from cmd/explore -out")
 		timeout  = flag.Duration("timeout", 0, "abort the PUFFER flow after this duration (0 = none)")
 		ckpt     = flag.String("checkpoint", "", "write a flow checkpoint (JSON) to this file after each stage")
@@ -97,6 +102,41 @@ func main() {
 		logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 
+	// Telemetry: any of -trace/-report/-debug-addr/-metrics turns the
+	// recorder on; otherwise the flow runs with the nil (free) recorder.
+	var (
+		rec      *obs.Recorder
+		reg      *obs.Registry
+		tracer   *obs.Tracer
+		metricsF *os.File
+	)
+	if *trace != "" || *repOut != "" || *debug != "" || *metrics != "" {
+		var sinks []obs.Sink
+		if *metrics != "" {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			metricsF = f
+			if strings.HasSuffix(*metrics, ".csv") {
+				sinks = append(sinks, obs.NewCSVSink(f))
+			} else {
+				sinks = append(sinks, obs.NewJSONLSink(f))
+			}
+		}
+		reg = obs.NewRegistry(sinks...)
+		tracer = obs.NewTracer()
+		rec = obs.NewRecorder(tracer, reg)
+	}
+	if *debug != "" {
+		ds, err := obs.StartDebug(*debug, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoint: http://%s/ (pprof, /debug/vars, /metrics)\n", ds.Addr())
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -108,12 +148,15 @@ func main() {
 	gw, gh := puffer.CongGridFor(d)
 	evalCfg := router.DefaultConfig()
 	evalCfg.Workers = *workers
+	evalCfg.Obs = rec
+	var puffRC *pipeline.RunContext
 	switch *placer {
 	case "puffer":
 		cfg := puffer.DefaultConfig()
 		cfg.Place.Seed = *seed
 		cfg.Workers = *workers
 		cfg.Logf = logf
+		cfg.Obs = rec
 		if *iters > 0 {
 			cfg.Place.MaxIters = *iters
 		}
@@ -129,6 +172,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		puffRC = rc
 		pl := pipeline.New()
 		if *ckpt != "" {
 			pl.Checkpointer = func(cp *pipeline.Checkpoint) error { return cp.Save(*ckpt) }
@@ -141,7 +185,7 @@ func main() {
 			fmt.Printf("resuming after stage %q from %s\n", cp.Stage, *resume)
 			err = pl.Resume(ctx, rc, cp)
 			if *stats {
-				reportStages(rc.Result.Stages)
+				pipeline.WriteStageStats(os.Stdout, rc.Result.Stages)
 			}
 			if err != nil {
 				log.Fatal(err)
@@ -149,7 +193,7 @@ func main() {
 		} else {
 			err = pl.Run(ctx, rc)
 			if *stats {
-				reportStages(rc.Result.Stages)
+				pipeline.WriteStageStats(os.Stdout, rc.Result.Stages)
 			}
 			if err != nil {
 				if errors.Is(err, pipeline.ErrCanceled) {
@@ -173,17 +217,21 @@ func main() {
 			evalCfg.GridW, evalCfg.GridH = rc.GridW, rc.GridH
 			evalCfg.Topo = po.Estimator()
 		}
-		if *trace != "" {
+		if *traceCSV != "" {
 			var b strings.Builder
 			b.WriteString("iter,hpwl,overflow,lambda,gamma,padded\n")
 			for _, it := range res.GP.Trace {
 				fmt.Fprintf(&b, "%d,%g,%g,%g,%g,%t\n",
 					it.Iter, it.HPWL, it.Overflow, it.Lambda, it.Gamma, it.Padded)
 			}
-			if err := os.WriteFile(*trace, []byte(b.String()), 0o644); err != nil {
+			if res.GP.TraceDropped > 0 {
+				fmt.Printf("note: iteration trace retained the newest %d of %d iterations (raise Place.TraceCap to keep more)\n",
+					len(res.GP.Trace), len(res.GP.Trace)+res.GP.TraceDropped)
+			}
+			if err := os.WriteFile(*traceCSV, []byte(b.String()), 0o644); err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("iteration trace written to %s\n", *trace)
+			fmt.Printf("iteration trace written to %s\n", *traceCSV)
 		}
 	case "replace":
 		opts := baseline.DefaultRePlAceOpts()
@@ -284,20 +332,36 @@ func main() {
 		}
 		fmt.Printf("placed design written to %s\n", auxPath)
 	}
-}
 
-// reportStages prints the per-stage pipeline statistics, including the
-// congestion engine's counters for stages that ran the estimator.
-func reportStages(stages []pipeline.StageStats) {
-	for _, st := range stages {
-		fmt.Printf("stage %-10s %10s  iters=%-8d allocs=%d\n",
-			st.Name, st.Wall.Round(time.Microsecond), st.Iters, st.AllocsDelta)
-		if es := st.Estimator; es != nil {
-			fmt.Printf("  estimator: calls=%d rebuilds=%d incremental=%d hit=%.1f%% last=%s dirty=%d moved=%d (pin=%s topo=%s apply=%s expand=%s)\n",
-				es.Calls, es.FullRebuilds, es.IncrementalCalls, 100*es.HitRate(),
-				es.LastReason, es.LastDirtyNets, es.LastMovedPins,
-				es.LastPinWall.Round(time.Microsecond), es.LastTopoWall.Round(time.Microsecond),
-				es.LastApplyWall.Round(time.Microsecond), es.LastExpandWall.Round(time.Microsecond))
+	if *trace != "" {
+		if err := tracer.WriteFile(*trace); err != nil {
+			log.Fatal(err)
 		}
+		fmt.Printf("trace written to %s (%d spans; open in Perfetto or chrome://tracing)\n", *trace, tracer.Len())
+	}
+	if *repOut != "" {
+		if puffRC == nil {
+			log.Fatalf("-report requires -placer puffer (got %q)", *placer)
+		}
+		puffRC.Result.Route = routed
+		rep, err := pipeline.BuildReport(puffRC)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Save(*repOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("run report written to %s\n", *repOut)
+	}
+	if reg != nil {
+		if err := reg.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if metricsF != nil {
+		if err := metricsF.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metric stream written to %s\n", *metrics)
 	}
 }

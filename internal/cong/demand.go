@@ -6,6 +6,7 @@ import (
 
 	"puffer/internal/geom"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/rsmt"
 )
 
@@ -109,6 +110,14 @@ type Estimator struct {
 	ovH, ovV []uint64 // expansion overflow bitsets
 
 	stats Stats
+
+	// Telemetry (obs.go): instruments resolved once by SetObs; all nil —
+	// and therefore no-ops — until a recorder is attached.
+	rec        *obs.Recorder
+	cEstimates *obs.Counter
+	cRebuilds  *obs.Counter
+	gHitRate   *obs.Gauge
+	sDirty     *obs.Series
 }
 
 // NewEstimator creates an estimator over a fresh W×H capacity map for d.

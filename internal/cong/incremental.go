@@ -7,6 +7,7 @@ import (
 
 	"puffer/internal/flow"
 	"puffer/internal/geom"
+	"puffer/internal/obs"
 	"puffer/internal/par"
 	"puffer/internal/rsmt"
 )
@@ -104,6 +105,8 @@ func (e *Estimator) ForceRebuild() { e.forceRebuild = true }
 // returns an error wrapping flow.ErrCanceled and leaves the engine marked
 // for a full rebuild, so the next call starts from consistent state.
 func (e *Estimator) EstimateCtx(ctx context.Context) (*Map, error) {
+	sp, ctx := obs.Start(ctx, e.rec, "cong.estimate")
+	defer sp.End()
 	if err := e.refresh(ctx); err != nil {
 		return nil, err
 	}
@@ -113,6 +116,7 @@ func (e *Estimator) EstimateCtx(ctx context.Context) (*Map, error) {
 	t0 := now()
 	e.expand()
 	e.stats.LastExpandWall = since(t0)
+	e.recordRefresh(sp)
 	return e.M, nil
 }
 
@@ -122,9 +126,12 @@ func (e *Estimator) EstimateCtx(ctx context.Context) (*Map, error) {
 // skip re-decomposing nets whose pins have not crossed a Gcell boundary;
 // feature extraction receives the same slice through Estimator.Trees.
 func (e *Estimator) SyncTopologies(ctx context.Context) ([]rsmt.Tree, error) {
+	sp, ctx := obs.Start(ctx, e.rec, "cong.sync_topologies")
+	defer sp.End()
 	if err := e.refresh(ctx); err != nil {
 		return nil, err
 	}
+	e.recordRefresh(sp)
 	return e.Trees, nil
 }
 
@@ -229,8 +236,14 @@ func (e *Estimator) fullRebuild(ctx context.Context, reason string) error {
 		}
 	}
 
+	// Parallel shards overlap the rebuild span in time; Fork gives each a
+	// fresh logical thread so trace viewers render them side by side.
+	parent := obs.FromContext(ctx)
 	tTopo := now()
 	err := par.ForErrN(ctx, W, W, func(w int) error {
+		wsp := parent.Fork("cong.rebuild.shard")
+		wsp.SetArg("shard", w)
+		defer wsp.End()
 		accH, accV, accPins := e.accH[w], e.accV[w], e.accPins[w]
 		for g := range accH {
 			accH[g] = 0
@@ -298,6 +311,7 @@ func (e *Estimator) fullRebuild(ctx context.Context, reason string) error {
 	e.lastP = e.P
 	e.sinceRebuild = 0
 	e.stats.FullRebuilds++
+	e.cRebuilds.Inc()
 	e.stats.LastReason = reason
 	e.stats.LastDirtyNets = nNets
 	e.stats.LastMovedPins = nPins
@@ -437,5 +451,5 @@ func (e *Estimator) rebuildSegs() {
 	}
 }
 
-func now() time.Time              { return time.Now() }
+func now() time.Time                  { return time.Now() }
 func since(t time.Time) time.Duration { return time.Since(t) }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"puffer/internal/flow"
+	"puffer/internal/obs"
 )
 
 // Kind describes a parameter's domain.
@@ -273,12 +274,18 @@ type Explorer struct {
 	// Workers caps how many groups run concurrently when Parallel is set
 	// (0 = all at once). Each group's trials run full placement flows, so
 	// deployments bound peak memory with this knob.
-	Workers  int
-	Seed     int64
-	Logf     func(format string, args ...any)
+	Workers int
+	Seed    int64
+	Logf    func(format string, args ...any) `json:"-"`
+	// Obs attaches telemetry: per-trial scores land on the
+	// "explore.trial.score" series (step = trial index), the running best
+	// on the "explore.best_score" gauge, and RunCtx traces the global pass
+	// and each group exploration as spans. Nil disables everything.
+	Obs *obs.Recorder `json:"-"`
 
 	mu      sync.Mutex
 	history []Observation
+	best    float64 // best (lowest) Y seen; valid when len(history) > 0
 }
 
 // History returns all observations made so far.
@@ -291,7 +298,19 @@ func (e *Explorer) History() []Observation {
 func (e *Explorer) record(o Observation) {
 	e.mu.Lock()
 	e.history = append(e.history, o)
+	trial := len(e.history)
+	improved := trial == 1 || o.Y < e.best
+	if improved {
+		e.best = o.Y
+	}
+	best := e.best
 	e.mu.Unlock()
+
+	e.Obs.Counter("explore.trials").Inc()
+	e.Obs.Series("explore.trial.score").Observe(trial, o.Y)
+	if improved {
+		e.Obs.Gauge("explore.best_score").Set(best)
+	}
 }
 
 // initialRanges returns the declared full ranges.
@@ -441,6 +460,8 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 	if e.TPE.Candidates == 0 {
 		e.TPE = DefaultTPE()
 	}
+	sp, ctx := obs.Start(ctx, e.Obs, "explore")
+	defer sp.End()
 	rng := rand.New(rand.NewSource(e.Seed))
 	ranges := e.initialRanges()
 
@@ -457,7 +478,9 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 		e.Logf("explore: global pass over %d params", len(e.Params))
 	}
 	var gerr error
+	spGlobal := sp.Child("explore.global")
 	_, ranges, gerr = e.paramExploration(ctx, rng, e.Params, ranges, Assignment{})
+	spGlobal.End()
 
 	// Group parameters by declared relevance (line 3).
 	groupNames := []string{}
@@ -486,6 +509,12 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 		runGroup := func(gi int) {
 			name := groupNames[gi]
 			sub := groups[name]
+			// Groups may run concurrently, so each gets its own logical
+			// trace thread.
+			gsp := sp.Fork("explore.group")
+			gsp.SetArg("group", name)
+			gsp.SetArg("round", round+1)
+			defer gsp.End()
 			grng := rand.New(rand.NewSource(groupSeed(e.Seed, round, gi)))
 			pinned := make(Assignment, len(pin))
 			for k, v := range pin {

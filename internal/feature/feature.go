@@ -19,6 +19,7 @@ import (
 	"puffer/internal/cong"
 	"puffer/internal/geom"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/par"
 	"puffer/internal/rsmt"
 )
@@ -81,6 +82,14 @@ func Extract(d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) *Set {
 // error wrapping flow.ErrCanceled. The partially filled Set is returned
 // so callers can discard it without a nil check.
 func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsmt.Tree, p Params) (*Set, error) {
+	// Extraction carries no recorder of its own: when the caller's context
+	// holds a span (the padding optimizer's "padding.run"), the three
+	// parallel phases report as its children; otherwise these are all nil
+	// no-ops.
+	parent := obs.FromContext(ctx)
+	sp := parent.Child("feature.extract")
+	defer sp.End()
+
 	s := &Set{Vec: make([][Count]float64, len(d.Cells))}
 
 	// Per-Gcell congestion and pin density grids plus their summed-area
@@ -96,6 +105,7 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 	satPd := newSAT(pd, m.W, m.H)
 
 	// Local and CNN-inspired features per cell.
+	spCells := sp.Child("feature.local_cnn")
 	if err := par.ForErrN(ctx, p.Workers, len(d.Cells), func(ci int) error {
 		c := &d.Cells[ci]
 		if c.Fixed {
@@ -137,8 +147,10 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 		s.Vec[ci][SurroundPinDensity] = satPd.mean(ci0-k, cj0-k, ci1+k, cj1+k)
 		return nil
 	}); err != nil {
+		spCells.End()
 		return s, err
 	}
+	spCells.End()
 
 	// GNN-inspired pin congestion. First per pin, then summed per cell
 	// (Eq. 12). Nets are independent, so parallelize over nets with a
@@ -147,6 +159,7 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 	for i := range pinCg {
 		pinCg[i] = math.Inf(1)
 	}
+	spPins := sp.Child("feature.pin_cg")
 	if err := par.ForErrN(ctx, p.Workers, len(d.Nets), func(n int) error {
 		if n >= len(trees) {
 			return nil
@@ -171,8 +184,10 @@ func ExtractCtx(ctx context.Context, d *netlist.Design, m *cong.Map, trees []rsm
 		}
 		return nil
 	}); err != nil {
+		spPins.End()
 		return s, err
 	}
+	spPins.End()
 	if err := par.ForErrN(ctx, p.Workers, len(d.Cells), func(ci int) error {
 		c := &d.Cells[ci]
 		if c.Fixed {

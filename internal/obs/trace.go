@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records hierarchical spans and exports them as Chrome
+// trace-event JSON (the format chrome://tracing and Perfetto load
+// directly). Span creation is cheap but not free, so spans mark
+// coarse-grained work — a run, a stage, an optimizer call, a rebuild
+// shard — while per-iteration scalars go to the metrics Registry.
+//
+// A nil *Tracer is valid: StartSpan returns a nil *Span whose whole
+// method set is a no-op.
+type Tracer struct {
+	t0      time.Time
+	nextTID atomic.Int64
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// traceEvent is one completed span, held until export.
+type traceEvent struct {
+	name string
+	tid  int64
+	ts   time.Duration // start, relative to t0
+	dur  time.Duration
+	args map[string]any
+}
+
+// rootTID is the logical thread root spans (and their non-forked
+// children) render on.
+const rootTID = 1
+
+// NewTracer starts an empty tracer; its clock zero is the call time.
+func NewTracer() *Tracer {
+	t := &Tracer{t0: time.Now()}
+	t.nextTID.Store(rootTID)
+	return t
+}
+
+// Span is one open interval of work. Spans nest by call structure: Child
+// stays on the parent's logical thread, Fork opens a new one (for work
+// that runs concurrently with the parent, e.g. rebuild shards). End
+// commits the span to the tracer; a span must be ended exactly once, by
+// the goroutine that owns it.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	start time.Time
+	args  map[string]any
+}
+
+// StartSpan opens a root span on the tracer's root thread.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: rootTID, start: time.Now()}
+}
+
+// Child opens a sub-span on the same logical thread; Chrome trace viewers
+// nest it under s by time containment.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
+}
+
+// Fork opens a sub-span on a fresh logical thread, for work running
+// concurrently with s (parallel shards would otherwise overlap on one
+// thread and render garbled).
+func (s *Span) Fork(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, tid: s.t.nextTID.Add(1), start: time.Now()}
+}
+
+// SetArg attaches a key/value to the span, shown in the trace viewer's
+// detail pane. Call only from the goroutine that owns the span.
+func (s *Span) SetArg(key string, v any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]any, 4)
+	}
+	s.args[key] = v
+}
+
+// End commits the span to its tracer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ev := traceEvent{
+		name: s.name,
+		tid:  s.tid,
+		ts:   s.start.Sub(s.t.t0),
+		dur:  time.Since(s.start),
+		args: s.args,
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// Len returns the number of committed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeEvent is the exported trace-event shape ("X" = complete event;
+// timestamps and durations in microseconds).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container variant of the format, which
+// both chrome://tracing and Perfetto accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteJSON exports all committed spans as Chrome trace-event JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	events := make([]chromeEvent, len(t.events))
+	for i, ev := range t.events {
+		events[i] = chromeEvent{
+			Name: ev.name,
+			Cat:  "puffer",
+			Ph:   "X",
+			PID:  1,
+			TID:  ev.tid,
+			Ts:   float64(ev.ts) / float64(time.Microsecond),
+			Dur:  float64(ev.dur) / float64(time.Microsecond),
+			Args: ev.args,
+		}
+	}
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile exports the trace to path (see WriteJSON).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	return f.Close()
+}
+
+// ctxKey keys the current span in a context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp as the current span. A nil span
+// returns ctx unchanged (no allocation on the disabled path).
+func ContextWith(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the current span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// Start opens a span named name as a child of the context's current span
+// when one is present, else as a root span on rec's tracer, and returns
+// the span together with a context carrying it. With no context span and a
+// nil recorder it returns (nil, ctx) without allocating.
+func Start(ctx context.Context, rec *Recorder, name string) (*Span, context.Context) {
+	var sp *Span
+	if parent := FromContext(ctx); parent != nil {
+		sp = parent.Child(name)
+	} else {
+		sp = rec.StartSpan(name)
+	}
+	return sp, ContextWith(ctx, sp)
+}

@@ -15,6 +15,7 @@ import (
 	"puffer/internal/feature"
 	"puffer/internal/flow"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 )
 
 // Smoothing selects the transfer function applied to the weighted feature
@@ -165,6 +166,15 @@ type Optimizer struct {
 	// logging and the legalization stage's padding-history-aware guidance.
 	LastMap      *cong.Map
 	LastFeatures *feature.Set
+
+	// Telemetry instruments (SetObs); nil — and inert — by default.
+	rec     *obs.Recorder
+	sUtil   *obs.Series
+	sTarget *obs.Series
+	sPadded *obs.Series
+	sHOF    *obs.Series
+	sVOF    *obs.Series
+	cRuns   *obs.Counter
 }
 
 // NewOptimizer creates an optimizer over a gridW×gridH Gcell congestion
@@ -181,6 +191,22 @@ func NewOptimizer(d *netlist.Design, gridW, gridH int, s Strategy) *Optimizer {
 
 // Iter returns the number of completed optimizer calls.
 func (o *Optimizer) Iter() int { return o.iter }
+
+// SetObs attaches telemetry to the optimizer and its congestion estimator:
+// each RunCtx call opens a "padding.run" span (child of the context's
+// current span, so it nests under the placement stage), with estimator and
+// feature-extraction spans as children, and publishes the RunInfo scalars
+// as per-call series. A nil recorder keeps everything disabled.
+func (o *Optimizer) SetObs(rec *obs.Recorder) {
+	o.rec = rec
+	o.sUtil = rec.Series("padding.utilization")
+	o.sTarget = rec.Series("padding.target_util")
+	o.sPadded = rec.Series("padding.padded_cells")
+	o.sHOF = rec.Series("padding.est_hof")
+	o.sVOF = rec.Series("padding.est_vof")
+	o.cRuns = rec.Counter("padding.runs")
+	o.est.SetObs(rec)
+}
 
 // ShouldTrigger evaluates the trigger conditions of Sec. III-B3 at global
 // placement iteration gpIter: the cells have spread enough (overflow < τ),
@@ -222,9 +248,12 @@ func (o *Optimizer) RunCtx(ctx context.Context) (RunInfo, error) {
 	if err := flow.Check(ctx); err != nil {
 		return RunInfo{}, err
 	}
+	sp, ctx := obs.Start(ctx, o.rec, "padding.run")
+	defer sp.End()
 	o.iter++
 	i := o.iter
 	info := RunInfo{Iter: i}
+	sp.SetArg("call", i)
 
 	cm, err := o.est.EstimateCtx(ctx)
 	if err != nil {
@@ -301,6 +330,16 @@ func (o *Optimizer) RunCtx(ctx context.Context) (RunInfo, error) {
 
 	if o.S.NetWeightGain > 0 {
 		o.reweightNets(cm)
+	}
+	o.cRuns.Inc()
+	o.sUtil.Observe(i, info.Utilization)
+	o.sTarget.Observe(i, info.TargetUtil)
+	o.sPadded.Observe(i, float64(info.PaddedCells))
+	o.sHOF.Observe(i, info.EstHOF)
+	o.sVOF.Observe(i, info.EstVOF)
+	if sp != nil {
+		sp.SetArg("padded_cells", info.PaddedCells)
+		sp.SetArg("utilization", info.Utilization)
 	}
 	return info, nil
 }

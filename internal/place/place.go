@@ -17,6 +17,7 @@ import (
 	"puffer/internal/geom"
 	"puffer/internal/nesterov"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/wirelength"
 )
 
@@ -54,9 +55,25 @@ type Config struct {
 	QuadraticInit bool
 	// Seed drives the deterministic initial placement jitter.
 	Seed int64
+	// TraceCap bounds Result.Trace retention: the engine keeps the most
+	// recent TraceCap iterations in a ring buffer, so unbounded runs
+	// cannot grow the IterStats history without limit. Zero selects
+	// DefaultTraceCap; a negative value disables the bound (full
+	// retention). Result.TraceDropped reports how many oldest iterations
+	// were evicted.
+	TraceCap int
+	// Obs, when non-nil, receives the engine's telemetry: per-iteration
+	// HPWL / overflow / λ / γ / step-length series. Nil disables
+	// recording at near-zero cost (see internal/obs).
+	Obs *obs.Recorder `json:"-"`
 	// Logf, when non-nil, receives progress lines.
-	Logf func(format string, args ...any)
+	Logf func(format string, args ...any) `json:"-"`
 }
+
+// DefaultTraceCap is the Result.Trace retention bound when
+// Config.TraceCap is zero. It exceeds DefaultConfig().MaxIters, so
+// default-configured runs always retain their full trajectory.
+const DefaultTraceCap = 4096
 
 // DefaultConfig returns the engine defaults.
 func DefaultConfig() Config {
@@ -100,7 +117,51 @@ type Result struct {
 	HPWL     float64
 	Overflow float64
 	Iters    int
-	Trace    []IterStats
+	// Trace holds the retained per-iteration statistics in chronological
+	// order; when the run outlived Config.TraceCap, only the most recent
+	// iterations survive and TraceDropped counts the evicted ones.
+	Trace        []IterStats
+	TraceDropped int
+}
+
+// traceRing retains the most recent IterStats up to a fixed capacity,
+// overwriting the oldest entries once full.
+type traceRing struct {
+	buf     []IterStats
+	max     int // 0 = unbounded
+	next    int // overwrite cursor, valid once len(buf) == max
+	dropped int
+}
+
+func newTraceRing(cap int) *traceRing {
+	switch {
+	case cap == 0:
+		cap = DefaultTraceCap
+	case cap < 0:
+		cap = 0
+	}
+	return &traceRing{max: cap}
+}
+
+func (r *traceRing) add(it IterStats) {
+	if r.max == 0 || len(r.buf) < r.max {
+		r.buf = append(r.buf, it)
+		return
+	}
+	r.buf[r.next] = it
+	r.next = (r.next + 1) % r.max
+	r.dropped++
+}
+
+// items returns the retained entries oldest-first.
+func (r *traceRing) items() []IterStats {
+	if r.next == 0 {
+		return r.buf
+	}
+	out := make([]IterStats, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
 }
 
 // Placer is the global placement engine for one design.
@@ -390,6 +451,23 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 	p.updateGamma()
 	p.initLambda()
 
+	// Telemetry instruments resolve once; with a nil recorder every
+	// Observe below is a nil-check no-op (0 allocs on this hot path —
+	// see obs.BenchmarkDisabledTelemetryPerIteration).
+	rec := p.Cfg.Obs
+	sHPWL := rec.Series("place.hpwl")
+	sOvf := rec.Series("place.overflow")
+	sLambda := rec.Series("place.lambda")
+	sGamma := rec.Series("place.gamma")
+	sStep := rec.Series("place.step_len")
+	cIters := rec.Counter("place.iters")
+
+	ring := newTraceRing(p.Cfg.TraceCap)
+	flushTrace := func() {
+		res.Trace = ring.items()
+		res.TraceDropped = ring.dropped
+	}
+
 	prevPadArea := p.D.TotalPaddingArea()
 	prevHPWL := p.D.HPWL()
 	bestOverflow := math.Inf(1)
@@ -399,6 +477,7 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 			p.writePositions(p.opt.Current())
 			res.HPWL = p.D.HPWL()
 			res.Overflow = p.overflow
+			flushTrace()
 			return res, err
 		}
 		p.overflow = p.computeOverflow()
@@ -425,10 +504,16 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 			p.Cfg.Logf("place: iter=%d overflow=%.4f hpwl=%.0f lambda=%.3g gamma=%.3g",
 				iter, p.overflow, hpwl, p.lambda, p.gamma)
 		}
-		res.Trace = append(res.Trace, IterStats{
+		ring.add(IterStats{
 			Iter: iter, HPWL: hpwl, Overflow: p.overflow,
 			Lambda: p.lambda, Gamma: p.gamma, Padded: padded,
 		})
+		sHPWL.Observe(iter, hpwl)
+		sOvf.Observe(iter, p.overflow)
+		sLambda.Observe(iter, p.lambda)
+		sGamma.Observe(iter, p.gamma)
+		sStep.Observe(iter, p.opt.Alpha())
+		cIters.Inc()
 		res.Iters = iter
 
 		if iter >= p.Cfg.MinIters && p.overflow <= p.Cfg.StopOverflow {
@@ -459,5 +544,6 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 	p.writePositions(p.opt.Current())
 	res.HPWL = p.D.HPWL()
 	res.Overflow = p.overflow
+	flushTrace()
 	return res, nil
 }

@@ -18,6 +18,7 @@ import (
 	"puffer/internal/flow"
 	"puffer/internal/geom"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/par"
 	"puffer/internal/rsmt"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	PatternFirst bool
 	// Workers caps the parallel net decomposition (0 = GOMAXPROCS).
 	Workers int
+	// Obs attaches telemetry: RouteCtx opens phase spans (decompose,
+	// initial pass, each negotiation round) and publishes segment/reroute
+	// counters. Nil disables everything; excluded from JSON so Config can
+	// appear in the run report.
+	Obs *obs.Recorder `json:"-"`
 	// Topo, when set, is the placement flow's congestion estimator: the
 	// router reuses its incrementally maintained RSMT topologies instead
 	// of rebuilding every net from scratch, provided the estimator's Gcell
@@ -111,6 +117,8 @@ const routeCheckEvery = 32
 // cancellation it simply returns a nil Result and an error wrapping
 // flow.ErrCanceled.
 func RouteCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, error) {
+	sp, ctx := obs.Start(ctx, cfg.Obs, "route")
+	defer sp.End()
 	if cfg.GridW == 0 {
 		cfg.GridW = geom.ClampInt(int(d.Region.W()/(2*math.Max(d.RowHeight, 1e-9))), 16, 512)
 	}
@@ -155,6 +163,7 @@ func RouteCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, erro
 	// the per-net results are flattened in net order, keeping the segment
 	// sequence (and therefore the negotiation) deterministic.
 	segsByNet := make([][]segment, len(d.Nets))
+	spDecomp := sp.Child("route.decompose")
 	if err := par.ForErrN(ctx, cfg.Workers, len(d.Nets), func(n int) error {
 		net := &d.Nets[n]
 		if len(net.Pins) < 2 {
@@ -180,30 +189,40 @@ func RouteCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, erro
 		}
 		return nil
 	}); err != nil {
+		spDecomp.End()
 		return nil, err
 	}
+	spDecomp.End()
 	for n := range segsByNet {
 		r.segs = append(r.segs, segsByNet[n]...)
 	}
 
 	res := &Result{Map: r.m, Segments: len(r.segs)}
+	cfg.Obs.Counter("route.segments").Add(int64(len(r.segs)))
 
 	// Initial pass.
+	spInit := sp.Child("route.initial")
 	for i := range r.segs {
 		if i%routeCheckEvery == 0 {
 			if err := flow.Check(ctx); err != nil {
+				spInit.End()
 				return nil, err
 			}
 		}
 		r.routeSegment(&r.segs[i])
 	}
+	spInit.End()
 	// Negotiation rounds.
+	sRerouted := cfg.Obs.Series("route.rerouted")
 	for round := 0; round < cfg.MaxRipup; round++ {
+		spRound := sp.Child("route.negotiate")
+		spRound.SetArg("round", round+1)
 		r.bumpHistory()
 		rerouted := 0
 		for i := range r.segs {
 			if i%routeCheckEvery == 0 {
 				if err := flow.Check(ctx); err != nil {
+					spRound.End()
 					return nil, err
 				}
 			}
@@ -216,10 +235,16 @@ func RouteCtx(ctx context.Context, d *netlist.Design, cfg Config) (*Result, erro
 			rerouted++
 		}
 		res.Rerouted += rerouted
+		sRerouted.Observe(round+1, float64(rerouted))
+		if spRound != nil {
+			spRound.SetArg("rerouted", rerouted)
+		}
+		spRound.End()
 		if rerouted == 0 {
 			break
 		}
 	}
+	cfg.Obs.Counter("route.total_rerouted").Add(int64(res.Rerouted))
 
 	res.HOF, res.VOF = r.m.OverflowRatios()
 	res.Paths = make([][]int32, len(r.segs))

@@ -32,6 +32,7 @@ import (
 	"puffer/internal/geom"
 	"puffer/internal/legal"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/padding"
 	"puffer/internal/place"
 	"puffer/internal/router"
@@ -59,8 +60,16 @@ type Config struct {
 	// parallel estimator merges shards deterministically, so results are
 	// reproducible for a fixed worker count.
 	Workers int
-	// Logf, when non-nil, receives stage-by-stage progress lines.
-	Logf func(format string, args ...any)
+	// Logf, when non-nil, receives stage-by-stage progress lines. Excluded
+	// from JSON (the run report embeds the Config) along with Obs.
+	Logf func(format string, args ...any) `json:"-"`
+	// Obs, when non-nil, attaches the unified telemetry recorder
+	// (internal/obs) to the whole flow: the pipeline opens run and stage
+	// trace spans, the engines beneath add optimizer-call/estimate/shard
+	// spans and per-iteration metric series, and BuildReport snapshots the
+	// registry into the run report. Nil — the default — keeps every
+	// instrument on its nil fast path.
+	Obs *obs.Recorder `json:"-"`
 }
 
 // DefaultConfig returns the paper-faithful defaults.
@@ -169,6 +178,11 @@ func NewRunContext(d *netlist.Design, cfg Config) (*RunContext, error) {
 			cfg.Strategy.Feat.Workers = cfg.Workers
 		}
 	}
+	// The flow-level recorder reaches the placement engine through its own
+	// Obs knob, unless the caller wired a different one deliberately.
+	if cfg.Place.Obs == nil {
+		cfg.Place.Obs = cfg.Obs
+	}
 	return &RunContext{Design: d, Cfg: cfg, GridW: gw, GridH: gh, Result: &Result{}}, nil
 }
 
@@ -198,6 +212,7 @@ func (rc *RunContext) SetEstimatorStats(s cong.Stats) { rc.estStats = &s }
 func (rc *RunContext) PadOptimizer() *padding.Optimizer {
 	if rc.opt == nil {
 		rc.opt = padding.NewOptimizer(rc.Design, rc.GridW, rc.GridH, rc.Cfg.Strategy)
+		rc.opt.SetObs(rc.Cfg.Obs)
 	}
 	return rc.opt
 }

@@ -8,6 +8,7 @@ import (
 
 	"puffer/internal/flow"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 )
 
 // Re-exported error vocabulary, so pipeline callers need not import the
@@ -82,6 +83,11 @@ func (p *Pipeline) Resume(ctx context.Context, rc *RunContext, cp *Checkpoint) e
 }
 
 func (p *Pipeline) runFrom(ctx context.Context, rc *RunContext, start int) error {
+	// The run span roots the trace; every stage gets a child span carried
+	// in the stage's context, under which the engines open their own
+	// optimizer-call, estimate, and shard spans.
+	runSpan, ctx := obs.Start(ctx, rc.Cfg.Obs, "run")
+	defer runSpan.End()
 	t0 := time.Now()
 	defer func() {
 		rc.Result.Runtime += time.Since(t0)
@@ -96,9 +102,14 @@ func (p *Pipeline) runFrom(ctx context.Context, rc *RunContext, start int) error
 		runtime.ReadMemStats(&before)
 		rc.stageIters = 0
 		rc.estStats = nil
+		stageSpan := runSpan.Child("stage." + st.Name())
 		stageStart := time.Now()
-		err := st.Run(ctx, rc)
+		err := st.Run(obs.ContextWith(ctx, stageSpan), rc)
 		wall := time.Since(stageStart)
+		if stageSpan != nil {
+			stageSpan.SetArg("iters", rc.stageIters)
+		}
+		stageSpan.End()
 		runtime.ReadMemStats(&after)
 		stats := StageStats{
 			Name:        st.Name(),

@@ -138,6 +138,9 @@ func Route(cfg router.Config) Stage {
 		if cfg.Workers == 0 {
 			cfg.Workers = rc.Cfg.Workers
 		}
+		if cfg.Obs == nil {
+			cfg.Obs = rc.Cfg.Obs
+		}
 		if cfg.Topo == nil && rc.opt != nil && rc.opt.Iter() > 0 {
 			// The routability optimizer already maintains per-net RSMT
 			// topologies incrementally; let the router reuse them instead
