@@ -5,13 +5,18 @@
 //     profiles against the paper's Table II shape;
 //   - -report run.json: summarize a structured run report written by
 //     cmd/puffer -report (stage statistics, recorded metric series, final
-//     quality numbers), validating that the artifact round-trips.
+//     quality numbers), validating that the artifact round-trips;
+//   - -ckpt checkpoint.json: validate and summarize a stage-boundary
+//     checkpoint (cmd/puffer -checkpoint, or a pufferd job spool) — stage
+//     name,
+//     cell/net counts, and the bounding box of the stored positions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,10 +34,17 @@ func main() {
 	scale := flag.Int("scale", 3000, "profile scale")
 	seed := flag.Int64("seed", 1, "seed")
 	reportPath := flag.String("report", "", "summarize this run report (JSON from cmd/puffer -report) instead of running comparisons")
+	ckptPath := flag.String("ckpt", "", "validate and summarize this pipeline checkpoint instead of running comparisons")
 	flag.Parse()
 
 	if *reportPath != "" {
 		if err := summarizeReport(*reportPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *ckptPath != "" {
+		if err := summarizeCheckpoint(*ckptPath); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -159,6 +171,47 @@ func summarizeReport(path string) error {
 			again.Design, len(again.Stages), rep.Design, len(rep.Stages))
 	}
 	fmt.Println("round trip: ok")
+	return nil
+}
+
+// summarizeCheckpoint validates a stage-boundary checkpoint file and
+// prints what a resume would see: stage, counts, padding totals, and the
+// bounding box of the stored positions. LoadCheckpoint already rejects
+// empty/truncated/foreign files, so reaching the summary means the file
+// is a usable resume point for a design with matching counts.
+func summarizeCheckpoint(path string) error {
+	cp, err := pipeline.LoadCheckpoint(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s (%s)\n", path, cp.Format)
+	fmt.Printf("stage: %s\n", cp.Stage)
+	fmt.Printf("cells: %d  nets: %d\n", len(cp.X), len(cp.NetWeight))
+	if len(cp.X) > 0 {
+		minX, maxX := cp.X[0], cp.X[0]
+		minY, maxY := cp.Y[0], cp.Y[0]
+		var padded int
+		var padTotal float64
+		for i := range cp.X {
+			minX = math.Min(minX, cp.X[i])
+			maxX = math.Max(maxX, cp.X[i])
+			minY = math.Min(minY, cp.Y[i])
+			maxY = math.Max(maxY, cp.Y[i])
+			if cp.PadW[i] > 0 {
+				padded++
+				padTotal += cp.PadW[i]
+			}
+		}
+		fmt.Printf("bbox: [%.2f, %.2f] x [%.2f, %.2f]\n", minX, maxX, minY, maxY)
+		fmt.Printf("padded cells: %d (total pad width %.2f)\n", padded, padTotal)
+	}
+	var reweighted int
+	for _, w := range cp.NetWeight {
+		if w != 1 {
+			reweighted++
+		}
+	}
+	fmt.Printf("reweighted nets: %d\n", reweighted)
 	return nil
 }
 

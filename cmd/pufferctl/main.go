@@ -1,0 +1,415 @@
+// Command pufferctl is the client for the pufferd placement job daemon.
+//
+// Usage:
+//
+//	pufferctl [-addr http://127.0.0.1:8080] <command> [args]
+//
+// Commands:
+//
+//	submit   submit a job (synthetic profile or Bookshelf upload); -watch streams it
+//	status   print a job's durable manifest
+//	watch    stream a job's progress (SSE) until it finishes
+//	result   print a finished job's result summary
+//	artifact download a spooled artifact (report.json, trace.json, …)
+//	cancel   cancel a queued or running job
+//	list     list all jobs the daemon knows
+//	wait     poll until a job reaches a terminal state
+//
+// The daemon address can also come from the PUFFERD_ADDR environment
+// variable. Exit status is non-zero when the addressed job failed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", envOr("PUFFERD_ADDR", "http://127.0.0.1:8080"), "pufferd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait} ...")
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimSuffix(*addr, "/")}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = c.submit(rest)
+	case "status":
+		err = c.getJSON(rest, "status <id>", "/api/v1/jobs/%s")
+	case "result":
+		err = c.getJSON(rest, "result <id>", "/api/v1/jobs/%s/result")
+	case "watch":
+		err = c.watch(rest)
+	case "artifact":
+		err = c.artifact(rest)
+	case "cancel":
+		err = c.cancel(rest)
+	case "list":
+		err = c.list()
+	case "wait":
+		err = c.wait(rest)
+	default:
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pufferctl:", err)
+		os.Exit(1)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+type client struct{ base string }
+
+// checkStatus turns non-2xx responses into errors carrying the body.
+func checkStatus(resp *http.Response) error {
+	if resp.StatusCode/100 == 2 {
+		return nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(body))
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		return fmt.Errorf("%s (Retry-After: %ss): %s", resp.Status, ra, msg)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, msg)
+}
+
+func (c *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		kind     = fs.String("kind", "place", "job kind: place | explore")
+		profile  = fs.String("profile", "", "synthetic benchmark profile name")
+		scale    = fs.Int("scale", 800, "profile scale divisor")
+		seed     = fs.Int64("seed", 1, "random seed")
+		aux      = fs.String("aux", "", "Bookshelf .aux file to upload (with its sibling files)")
+		iters    = fs.Int("iters", 0, "max global placement iterations (0 = default)")
+		workers  = fs.Int("workers", 0, "cap job parallelism (0 = GOMAXPROCS)")
+		route    = fs.Bool("route", false, "append the evaluation-routing stage")
+		strategy = fs.String("strategy", "", "JSON strategy file (cmd/explore -out format)")
+		budget   = fs.Int("budget", 0, "exploration trial budget (explore jobs)")
+		timeout  = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
+		watch    = fs.Bool("watch", false, "stream progress until the job finishes")
+	)
+	fs.Parse(args)
+
+	spec := map[string]any{"kind": *kind, "scale": *scale, "seed": *seed}
+	if *profile != "" {
+		spec["profile"] = *profile
+	}
+	if *aux != "" {
+		files, err := inlineBookshelf(*aux)
+		if err != nil {
+			return err
+		}
+		spec["bookshelf"] = files
+	}
+	if *iters > 0 {
+		spec["max_iters"] = *iters
+	}
+	if *workers > 0 {
+		spec["workers"] = *workers
+	}
+	if *route {
+		spec["route"] = true
+	}
+	if *budget > 0 {
+		spec["budget"] = *budget
+	}
+	if *timeout > 0 {
+		spec["timeout_sec"] = timeout.Seconds()
+	}
+	if *strategy != "" {
+		data, err := os.ReadFile(*strategy)
+		if err != nil {
+			return err
+		}
+		spec["strategy"] = json.RawMessage(data)
+	}
+
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(c.base+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var m struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	fmt.Printf("job %s %s\n", m.ID, m.State)
+	if *watch {
+		return c.streamEvents(m.ID)
+	}
+	return nil
+}
+
+// inlineBookshelf reads an .aux file and every sibling file it references,
+// returning the filename → content map the submit API expects.
+func inlineBookshelf(auxPath string) (map[string]string, error) {
+	auxData, err := os.ReadFile(auxPath)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(auxPath)
+	files := map[string]string{filepath.Base(auxPath): string(auxData)}
+	for _, line := range strings.Split(string(auxData), "\n") {
+		if i := strings.Index(line, ":"); i >= 0 {
+			line = line[i+1:]
+		}
+		for _, tok := range strings.Fields(line) {
+			if filepath.Ext(tok) == "" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, filepath.Base(tok)))
+			if err != nil {
+				return nil, fmt.Errorf("aux references %s: %w", tok, err)
+			}
+			files[filepath.Base(tok)] = string(data)
+		}
+	}
+	return files, nil
+}
+
+func (c *client) getJSON(args []string, usage, pathFmt string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pufferctl %s", usage)
+	}
+	resp, err := http.Get(c.base + fmt.Sprintf(pathFmt, args[0]))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) list() error {
+	resp, err := http.Get(c.base + "/api/v1/jobs")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var rows []struct {
+		ID          string    `json:"id"`
+		Kind        string    `json:"kind"`
+		Design      string    `json:"design"`
+		State       string    `json:"state"`
+		Stage       string    `json:"stage"`
+		Attempts    int       `json:"attempts"`
+		SubmittedAt time.Time `json:"submitted_at"`
+		HPWL        float64   `json:"hpwl"`
+		Error       string    `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %-8s %-16s %-9s %-9s %3s  %s\n", "ID", "KIND", "DESIGN", "STATE", "STAGE", "TRY", "HPWL/ERROR")
+	for _, r := range rows {
+		detail := ""
+		if r.HPWL > 0 {
+			detail = fmt.Sprintf("%.0f", r.HPWL)
+		}
+		if r.Error != "" {
+			detail = r.Error
+		}
+		fmt.Printf("%-14s %-8s %-16s %-9s %-9s %3d  %s\n",
+			r.ID, r.Kind, r.Design, r.State, r.Stage, r.Attempts, detail)
+	}
+	return nil
+}
+
+func (c *client) cancel(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pufferctl cancel <id>")
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/api/v1/jobs/"+args[0]+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) artifact(args []string) error {
+	fs := flag.NewFlagSet("artifact", flag.ExitOnError)
+	out := fs.String("o", "", "output path (default: the artifact name)")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("usage: pufferctl artifact [-o path] <id> <name>")
+	}
+	id, name := rest[0], rest[1]
+	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/artifacts/" + name)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	dest := *out
+	if dest == "" {
+		dest = name
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d bytes\n", dest, n)
+	return nil
+}
+
+func (c *client) watch(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pufferctl watch <id>")
+	}
+	return c.streamEvents(args[0])
+}
+
+// streamEvents consumes the job's SSE stream, rendering progress lines
+// until the stream ends; the final state decides the error.
+func (c *client) streamEvents(id string) error {
+	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	finalState := ""
+	finalErr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e struct {
+			Type        string  `json:"type"`
+			State       string  `json:"state"`
+			Error       string  `json:"error"`
+			Stage       string  `json:"stage"`
+			StageStatus string  `json:"stage_status"`
+			Iters       int     `json:"iters"`
+			WallMS      float64 `json:"wall_ms"`
+			Series      string  `json:"series"`
+			Step        int     `json:"step"`
+			Value       float64 `json:"value"`
+			Line        string  `json:"line"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			continue
+		}
+		switch e.Type {
+		case "state":
+			fmt.Printf("state: %s %s\n", e.State, e.Error)
+			finalState, finalErr = e.State, e.Error
+		case "stage":
+			fmt.Printf("stage %s %s (iters=%d wall=%.0fms)\n", e.Stage, e.StageStatus, e.Iters, e.WallMS)
+		case "sample":
+			fmt.Printf("  %s[%d] = %g\n", e.Series, e.Step, e.Value)
+		case "log":
+			fmt.Println(e.Line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	switch finalState {
+	case "done", "":
+		return nil
+	case "parked", "queued":
+		fmt.Println("job interrupted; it will resume when the daemon restarts")
+		return nil
+	default:
+		return fmt.Errorf("job %s %s: %s", id, finalState, finalErr)
+	}
+}
+
+func (c *client) wait(args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	poll := fs.Duration("poll", 2*time.Second, "poll interval")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up after this long")
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return fmt.Errorf("usage: pufferctl wait [-poll d] [-timeout d] <id>")
+	}
+	id := rest[0]
+	deadline := time.Now().Add(*timeout)
+	for {
+		resp, err := http.Get(c.base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var m struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if serr := checkStatus(resp); serr != nil {
+			return serr
+		}
+		if decErr != nil {
+			return decErr
+		}
+		switch m.State {
+		case "done":
+			fmt.Println("done")
+			return nil
+		case "failed", "canceled":
+			return fmt.Errorf("job %s %s: %s", id, m.State, m.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after %s", id, m.State, *timeout)
+		}
+		time.Sleep(*poll)
+	}
+}

@@ -1,0 +1,100 @@
+// Command pufferd is the PUFFER placement job daemon: an HTTP service that
+// admits placement and strategy-exploration jobs through a bounded queue,
+// runs them on a worker pool with per-stage checkpointing into a spool
+// directory, streams live progress as server-sent events, and survives
+// restarts — interrupted jobs are re-admitted and resumed from their last
+// stage-boundary checkpoint.
+//
+// Usage:
+//
+//	pufferd -addr :8080 -spool /var/lib/pufferd -workers 4 -queue 32
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
+// (submissions get 503), cancels running jobs so they park at their last
+// checkpoint, and exits once the pool is idle or -drain-timeout expires.
+// Submit and watch jobs with cmd/pufferctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"puffer/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		spool        = flag.String("spool", "pufferd-spool", "job spool directory (durable; holds manifests, checkpoints, artifacts)")
+		queueCap     = flag.Int("queue", 16, "admission queue capacity (excess submissions get 429 + Retry-After)")
+		workers      = flag.Int("workers", 2, "job worker pool size")
+		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline for jobs that set none (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long to wait for running jobs to park on shutdown")
+		verbose      = flag.Bool("v", true, "log job lifecycle events")
+	)
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	srv, err := serve.New(serve.Config{
+		SpoolDir:          *spool,
+		QueueCap:          *queueCap,
+		Workers:           *workers,
+		DefaultJobTimeout: *jobTimeout,
+		Logf:              logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv.Recovered > 0 {
+		log.Printf("pufferd: re-admitted %d interrupted job(s) from %s", srv.Recovered, *spool)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The listening line is a stable interface: scripts scrape the port.
+	fmt.Printf("pufferd listening on %s (spool %s, %d workers, queue %d)\n",
+		bound, *spool, *workers, *queueCap)
+
+	hsrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hsrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("pufferd: %s received, draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("pufferd: %v", err)
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		hsrv.Shutdown(shutCtx)
+		log.Printf("pufferd: drained; interrupted jobs will resume on next start")
+	case err := <-errCh:
+		log.Fatalf("pufferd: serve: %v", err)
+	}
+}

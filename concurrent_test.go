@@ -1,0 +1,86 @@
+package puffer
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"puffer/internal/obs"
+	"puffer/internal/synth"
+)
+
+// runOutcome captures everything one RunCtx invocation should own
+// exclusively: its design's final quality and its registry's contents.
+type runOutcome struct {
+	hpwl    float64
+	gpIters int64
+	samples int
+}
+
+// runIsolated executes one full flow with its own design instance, obs
+// registry, tracer, and recorder — the per-job setup a daemon worker uses.
+func runIsolated(t *testing.T, seed int64) runOutcome {
+	t.Helper()
+	p, err := synth.ProfileByName("MEDIA_SUBSYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.Generate(p, 3000, seed)
+	cfg := quickConfig()
+	cfg.Place.Seed = seed
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.NewRecorder(obs.NewTracer(), reg)
+	res, err := RunCtx(context.Background(), d, cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	snap := reg.Snapshot()
+	return runOutcome{
+		hpwl:    res.HPWL,
+		gpIters: snap.Counters["place.iters"],
+		samples: len(snap.Series["place.hpwl"]),
+	}
+}
+
+// TestConcurrentRunCtxIsolated runs several flows simultaneously, each
+// with a separate obs registry, and checks that nothing bleeds across
+// them: every concurrent run reproduces its serial twin exactly — same
+// HPWL, same iteration counter, same recorded series length. Run under
+// -race (the CI serve job does) this also proves the engine shares no
+// unsynchronized state between invocations.
+func TestConcurrentRunCtxIsolated(t *testing.T) {
+	seeds := []int64{1, 9, 23, 57}
+
+	serial := make([]runOutcome, len(seeds))
+	for i, seed := range seeds {
+		serial[i] = runIsolated(t, seed)
+	}
+
+	concurrent := make([]runOutcome, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			concurrent[i] = runIsolated(t, seed)
+		}(i, seed)
+	}
+	wg.Wait()
+
+	distinct := map[float64]bool{}
+	for i, seed := range seeds {
+		if concurrent[i] != serial[i] {
+			t.Errorf("seed %d: concurrent run %+v != serial run %+v — state bled between invocations",
+				seed, concurrent[i], serial[i])
+		}
+		if concurrent[i].samples == 0 || concurrent[i].gpIters == 0 {
+			t.Errorf("seed %d: registry recorded nothing (%+v)", seed, concurrent[i])
+		}
+		distinct[concurrent[i].hpwl] = true
+	}
+	// Different seeds must give different answers; identical HPWLs across
+	// seeds would mean the runs observed each other's designs.
+	if len(distinct) != len(seeds) {
+		t.Errorf("only %d distinct HPWLs for %d seeds: %v", len(distinct), len(seeds), distinct)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -237,7 +238,16 @@ func (ri *RouteInfo) Apply(d *netlist.Design) error {
 			}
 		}
 		shrink := math.Sqrt(math.Max(0, 1-ri.Porosity))
-		for name, blockedLayers := range ri.BlockageNodes {
+		// Sorted node order: d.Blockages must not depend on map iteration,
+		// both for reproducible flows (checkpoint resume equality) and for
+		// tests that index into the blockage list.
+		names := make([]string, 0, len(ri.BlockageNodes))
+		for name := range ri.BlockageNodes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			blockedLayers := ri.BlockageNodes[name]
 			ci, ok := byName[name]
 			if !ok {
 				return fmt.Errorf("route: blockage node %q not in design", name)

@@ -12,20 +12,73 @@ import (
 )
 
 // expvar publication is process-global (expvar.Publish panics on
-// duplicate names), so the handler reads the most recently served
-// registry through an atomic pointer.
+// duplicate names), so the "puffer" var is published once and renders the
+// current registry set: the primary registry (the one most recently handed
+// to NewDebugMux/StartDebug) plus any named registries registered with
+// PublishExpvar. A process hosting many concurrent runs — the pufferd
+// worker pool gives every job its own isolated Registry — can therefore
+// expose each run's metrics side by side instead of the last one winning.
 var (
-	expvarOnce sync.Once
-	expvarReg  atomic.Pointer[Registry]
+	expvarOnce  sync.Once
+	expvarReg   atomic.Pointer[Registry]
+	expvarMu    sync.Mutex
+	expvarNamed map[string]*Registry
 )
+
+func initExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("puffer", expvar.Func(func() any {
+			expvarMu.Lock()
+			named := make(map[string]*Registry, len(expvarNamed))
+			for k, v := range expvarNamed {
+				named[k] = v
+			}
+			expvarMu.Unlock()
+			main := expvarReg.Load()
+			if len(named) == 0 {
+				// Single-run shape (cmd/puffer -debug-addr): the snapshot
+				// itself, as published since the first telemetry release.
+				return main.Snapshot()
+			}
+			out := map[string]any{"run": main.Snapshot()}
+			jobs := make(map[string]Snapshot, len(named))
+			for name, reg := range named {
+				jobs[name] = reg.Snapshot()
+			}
+			out["jobs"] = jobs
+			return out
+		}))
+	})
+}
 
 func publishExpvar(reg *Registry) {
 	expvarReg.Store(reg)
-	expvarOnce.Do(func() {
-		expvar.Publish("puffer", expvar.Func(func() any {
-			return expvarReg.Load().Snapshot()
-		}))
-	})
+	initExpvar()
+}
+
+// PublishExpvar registers reg under name in the process-wide "puffer"
+// expvar tree (as puffer.jobs.<name> in /debug/vars), alongside — not
+// replacing — the primary debug registry. It is how a multi-job process
+// exposes per-job registries live; pair with UnpublishExpvar when the job
+// leaves the machine. A nil reg or empty name is ignored.
+func PublishExpvar(name string, reg *Registry) {
+	if name == "" || reg == nil {
+		return
+	}
+	expvarMu.Lock()
+	if expvarNamed == nil {
+		expvarNamed = make(map[string]*Registry)
+	}
+	expvarNamed[name] = reg
+	expvarMu.Unlock()
+	initExpvar()
+}
+
+// UnpublishExpvar removes a registry registered with PublishExpvar.
+func UnpublishExpvar(name string) {
+	expvarMu.Lock()
+	delete(expvarNamed, name)
+	expvarMu.Unlock()
 }
 
 // DebugServer is the live debug endpoint of a run: net/http/pprof under

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"puffer/internal/obs"
+	"puffer/internal/synth"
+)
+
+// maxSpecBytes bounds a submission body (inlined Bookshelf uploads
+// included) — backpressure starts at the socket.
+const maxSpecBytes = 64 << 20
+
+// Handler builds the daemon's HTTP surface:
+//
+//	POST   /api/v1/jobs                   submit (202; 429+Retry-After when full; 503 draining)
+//	GET    /api/v1/jobs                   list job summaries
+//	GET    /api/v1/jobs/{id}              manifest (durable job record)
+//	GET    /api/v1/jobs/{id}/events       SSE progress stream (replay + live)
+//	GET    /api/v1/jobs/{id}/result       final result (409 until done)
+//	GET    /api/v1/jobs/{id}/artifacts/{name}  spooled artifact download
+//	POST   /api/v1/jobs/{id}/cancel       cancel (queued or running)
+//	DELETE /api/v1/jobs/{id}              alias for cancel
+//	GET    /healthz                       liveness + queue/pool counters
+//	GET    /metrics, /debug/...           daemon registry (Prometheus, pprof, expvar)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	// The former cmd/puffer -debug-addr surface, folded into the daemon.
+	debug := obs.NewDebugMux(s.reg)
+	mux.Handle("/debug/", debug)
+	mux.Handle("/metrics", debug)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "pufferd placement job service\n\n/api/v1/jobs\n/healthz\n/metrics\n/debug/pprof/\n/debug/vars\n")
+	})
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		apiError(w, http.StatusServiceUnavailable, "daemon is draining; not admitting jobs")
+		return
+	}
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		apiError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		apiError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	if spec.Profile != "" {
+		if _, err := synth.ProfileByName(spec.Profile); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	m := &Manifest{
+		ID:          newJobID(),
+		Spec:        spec,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if err := s.spool.CreateJob(m); err != nil {
+		apiError(w, http.StatusInternalServerError, "spool job: %v", err)
+		return
+	}
+	s.ensureJob(m.ID)
+	if err := s.queue.TryPush(m.ID); err != nil {
+		os.RemoveAll(s.spool.JobDir(m.ID))
+		s.mu.Lock()
+		delete(s.jobs, m.ID)
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.reg.Counter("serve.jobs_rejected").Inc()
+			retry := s.queue.RetryAfter(s.cfg.Workers)
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+			apiError(w, http.StatusTooManyRequests,
+				"queue full (%d/%d); retry in %s", s.queue.Len(), s.queue.Cap(), retry)
+			return
+		}
+		apiError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.reg.Counter("serve.jobs_submitted").Inc()
+	s.reg.Gauge("serve.queue_depth").Set(float64(s.queue.Len()))
+	s.cfg.Logf("serve: job %s: queued (kind=%s)", m.ID, spec.Kind)
+	writeJSON(w, http.StatusAccepted, m)
+}
+
+// jobSummary is one row of the list endpoint.
+type jobSummary struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	Design      string     `json:"design"`
+	State       JobState   `json:"state"`
+	Stage       string     `json:"stage,omitempty"`
+	Attempts    int        `json:"attempts"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	HPWL        float64    `json:"hpwl,omitempty"`
+	Error       string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ms, err := s.spool.List()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "list spool: %v", err)
+		return
+	}
+	out := make([]jobSummary, 0, len(ms))
+	for _, m := range ms {
+		design := m.Spec.Profile
+		if design == "" {
+			design = m.Spec.AuxName()
+		}
+		row := jobSummary{
+			ID: m.ID, Kind: m.Spec.Kind, Design: design, State: m.State,
+			Stage: m.Stage, Attempts: m.Attempts,
+			SubmittedAt: m.SubmittedAt, FinishedAt: m.FinishedAt, Error: m.Error,
+		}
+		if m.Result != nil {
+			row.HPWL = m.Result.HPWL
+		}
+		out = append(out, row)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// loadManifest fetches the manifest for the path's {id}, writing the 404.
+func (s *Server) loadManifest(w http.ResponseWriter, r *http.Request) *Manifest {
+	id := r.PathValue("id")
+	m, err := s.spool.ReadManifest(id)
+	if err != nil {
+		apiError(w, http.StatusNotFound, "job %s: %v", id, err)
+		return nil
+	}
+	return m
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if m := s.loadManifest(w, r); m != nil {
+		writeJSON(w, http.StatusOK, m)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	if m.State != StateDone {
+		apiError(w, http.StatusConflict, "job %s is %s, not done", m.ID, m.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, m.Result)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	path, err := s.spool.ArtifactPath(m.ID, r.PathValue("name"))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if st, serr := os.Stat(path); serr != nil || st.IsDir() {
+		apiError(w, http.StatusNotFound, "job %s has no artifact %q", m.ID, r.PathValue("name"))
+		return
+	}
+	http.ServeFile(w, r, path)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	if m.State.Terminal() {
+		apiError(w, http.StatusConflict, "job %s already %s", m.ID, m.State)
+		return
+	}
+	// Queued (or parked) jobs cancel durably in the spool; running jobs
+	// cancel through their context and the worker records the state.
+	switch m.State {
+	case StateQueued, StateParked:
+		now := time.Now()
+		updated, err := s.spool.Update(m.ID, func(mm *Manifest) error {
+			if mm.State == StateRunning { // raced with a worker claim
+				return nil
+			}
+			mm.State = StateCanceled
+			mm.Error = errJobCanceled.Error()
+			mm.FinishedAt = &now
+			return nil
+		})
+		if err != nil {
+			apiError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		m = updated
+		if m.State == StateCanceled {
+			s.reg.Counter("serve.jobs_canceled").Inc()
+			if a, ok := s.jobRuntime(m.ID); ok {
+				a.hub.Publish(Event{Type: "state", State: StateCanceled, Error: m.Error})
+				a.hub.Close()
+			}
+			writeJSON(w, http.StatusOK, m)
+			return
+		}
+		fallthrough
+	case StateRunning:
+		if a, ok := s.jobRuntime(m.ID); ok {
+			s.mu.Lock()
+			cancel := a.cancel
+			s.mu.Unlock()
+			if cancel != nil {
+				cancel(errJobCanceled)
+			}
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": m.ID, "state": "canceling"})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "serving"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"queue_depth": s.queue.Len(),
+		"queue_cap":   s.queue.Cap(),
+		"workers":     s.cfg.Workers,
+		"active_jobs": s.activeCount(),
+	})
+}
+
+// handleEvents streams the job's progress as server-sent events: the
+// retained replay first, then live events until the job finishes or the
+// client disconnects. Terminal jobs with no retained hub get a single
+// synthetic state event so `pufferctl watch` always terminates.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(e Event) {
+		data, _ := json.Marshal(e)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+	}
+
+	a, ok := s.jobRuntime(m.ID)
+	if !ok {
+		// No runtime this boot (pre-restart job, or retention expired):
+		// synthesize the current durable state and end the stream.
+		writeEvent(Event{Type: "state", State: m.State, Error: m.Error})
+		fl.Flush()
+		return
+	}
+	replay, live, cancel := a.hub.Subscribe()
+	defer cancel()
+	for _, e := range replay {
+		writeEvent(e)
+	}
+	fl.Flush()
+	for {
+		select {
+		case e, open := <-live:
+			if !open {
+				return
+			}
+			writeEvent(e)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package serve is the placement job service behind cmd/pufferd: a bounded
+// admission queue with explicit backpressure, a worker pool that runs each
+// job through the staged pipeline with per-stage checkpointing into a spool
+// directory, per-job telemetry registries streamed to subscribers as
+// server-sent events, graceful drain (park running jobs at their last
+// checkpoint), and crash-safe recovery (a restarted daemon re-admits
+// interrupted jobs and resumes them from their spooled checkpoints).
+//
+// The package layers are:
+//
+//	job.go    — the job vocabulary: JobSpec, JobState, Manifest, JobResult
+//	spool.go  — the on-disk job store (manifests, designs, checkpoints, artifacts)
+//	queue.go  — the bounded admission queue with Retry-After estimation
+//	events.go — the per-job progress hub (ring buffer + live subscribers)
+//	worker.go — the worker pool executing jobs through pipeline/explore
+//	server.go — lifecycle: recovery, drain, daemon metrics
+//	api.go    — the HTTP surface (REST + SSE + artifact download + debug)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ManifestFormat identifies the job manifest JSON document version.
+const ManifestFormat = "puffer/job/v1"
+
+// JobKind selects what a job executes.
+const (
+	// KindPlace runs the staged placement pipeline (optionally with the
+	// evaluation routing stage). Place jobs checkpoint after every stage
+	// and resume from the spool after a daemon restart.
+	KindPlace = "place"
+	// KindExplore runs the Algorithm-3 strategy exploration. Exploration
+	// holds no cross-trial design state worth spooling, so a parked or
+	// crashed exploration restarts from scratch on re-admission.
+	KindExplore = "explore"
+)
+
+// JobState is the lifecycle state of a job. Transitions:
+//
+//	queued → running → done | failed | canceled
+//	running → parked (graceful drain) → queued (next boot)
+//
+// A crashed daemon leaves jobs in running; recovery treats them like
+// parked ones and re-admits them.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateParked   JobState = "parked"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether a job in state s will never run again.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is what a client submits: the design source (a synthetic profile
+// or inlined Bookshelf files), the flow knobs, and the job's own deadline.
+type JobSpec struct {
+	// Kind is KindPlace (default) or KindExplore.
+	Kind string `json:"kind,omitempty"`
+
+	// Profile names a synthetic benchmark profile (internal/synth);
+	// exactly one of Profile and Bookshelf must be set.
+	Profile string `json:"profile,omitempty"`
+	// Scale is the profile scale divisor (default 800).
+	Scale int `json:"scale,omitempty"`
+	// Seed is the generation/placement seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Bookshelf inlines an uploaded design as filename → file content.
+	// Exactly one name must end in .aux; the referenced sibling files
+	// must be present under the names the aux line uses.
+	Bookshelf map[string]string `json:"bookshelf,omitempty"`
+
+	// MaxIters caps global-placement iterations (0 = engine default).
+	MaxIters int `json:"max_iters,omitempty"`
+	// Workers caps the job's data parallelism (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Route appends the evaluation-routing stage to place jobs.
+	Route bool `json:"route,omitempty"`
+	// Strategy, when non-empty, is a padding.Strategy JSON document (the
+	// cmd/explore -out format); zero-valued fields keep their defaults.
+	Strategy json.RawMessage `json:"strategy,omitempty"`
+	// Budget is the exploration trial budget for explore jobs (default 8).
+	Budget int `json:"budget,omitempty"`
+
+	// TimeoutSec is the per-job deadline in seconds, enforced through the
+	// pipeline's context support (0 = the server's default, if any). The
+	// clock restarts when a parked job resumes.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// Normalize fills defaulted fields in place.
+func (s *JobSpec) Normalize() {
+	if s.Kind == "" {
+		s.Kind = KindPlace
+	}
+	if s.Scale == 0 {
+		s.Scale = 800
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Kind == KindExplore && s.Budget == 0 {
+		s.Budget = 8
+	}
+}
+
+// Validate rejects malformed specs with a client-presentable error.
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case KindPlace, KindExplore:
+	default:
+		return fmt.Errorf("unknown job kind %q (want %q or %q)", s.Kind, KindPlace, KindExplore)
+	}
+	if (s.Profile == "") == (len(s.Bookshelf) == 0) {
+		return fmt.Errorf("exactly one of profile and bookshelf must be set")
+	}
+	if len(s.Bookshelf) > 0 {
+		aux := 0
+		for name := range s.Bookshelf {
+			if name == "" || strings.Contains(name, "/") || strings.Contains(name, "\\") || strings.Contains(name, "..") {
+				return fmt.Errorf("bookshelf file name %q must be a bare file name", name)
+			}
+			if strings.HasSuffix(name, ".aux") {
+				aux++
+			}
+		}
+		if aux != 1 {
+			return fmt.Errorf("bookshelf upload needs exactly one .aux file, got %d", aux)
+		}
+	}
+	if s.Scale < 0 || s.MaxIters < 0 || s.Workers < 0 || s.Budget < 0 || s.TimeoutSec < 0 {
+		return fmt.Errorf("negative scale/max_iters/workers/budget/timeout_sec")
+	}
+	return nil
+}
+
+// AuxName returns the name of the spec's .aux file ("" for profile specs).
+func (s *JobSpec) AuxName() string {
+	for name := range s.Bookshelf {
+		if strings.HasSuffix(name, ".aux") {
+			return name
+		}
+	}
+	return ""
+}
+
+// JobResult is the final quality summary of a finished job, stored in the
+// manifest and served by the result endpoint. The full run report, trace,
+// and metric stream live next to it as downloadable artifacts.
+type JobResult struct {
+	HPWL        float64 `json:"hpwl,omitempty"`
+	GPIters     int     `json:"gp_iters,omitempty"`
+	GPOverflow  float64 `json:"gp_overflow,omitempty"`
+	PaddingRuns int     `json:"padding_runs,omitempty"`
+	RuntimeMS   float64 `json:"runtime_ms,omitempty"`
+	// Routing metrics, present when the job ran the evaluation router.
+	HOF      float64 `json:"hof,omitempty"`
+	VOF      float64 `json:"vof,omitempty"`
+	RoutedWL float64 `json:"routed_wl,omitempty"`
+	// Exploration metrics, present for explore jobs.
+	Trials    int     `json:"trials,omitempty"`
+	BestScore float64 `json:"best_score,omitempty"`
+	// Artifacts lists the downloadable files the job produced.
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// Manifest is the durable record of one job, spooled as manifest.json in
+// the job's directory and rewritten atomically on every state transition —
+// it is the single source of truth recovery reads after a crash.
+type Manifest struct {
+	Format string   `json:"format"`
+	ID     string   `json:"id"`
+	Spec   JobSpec  `json:"spec"`
+	State  JobState `json:"state"`
+	// Error is the failure (or cancel) message for failed/canceled jobs.
+	Error string `json:"error,omitempty"`
+	// Stage is the last stage a checkpoint was spooled after; a re-admitted
+	// job resumes from it via Checkpoint.Apply.
+	Stage string `json:"stage,omitempty"`
+	// Attempts counts admissions (1 on first run; +1 per park/crash resume).
+	Attempts int `json:"attempts"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	Result *JobResult `json:"result,omitempty"`
+}

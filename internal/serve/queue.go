@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Queue.TryPush when the queue is at capacity.
+// The API layer maps it to 429 Too Many Requests with a Retry-After header
+// — admission control happens at the door, so a traffic burst costs the
+// submitter a retry instead of costing the daemon unbounded memory.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrQueueClosed is returned once the queue has been closed for draining.
+var ErrQueueClosed = errors.New("serve: job queue closed")
+
+// Queue is the bounded FIFO admission queue between the HTTP surface and
+// the worker pool. It carries job IDs only — the durable job state lives
+// in the spool — so a canceled-while-queued job is simply skipped when a
+// worker pops it and checks the manifest.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ids    []string
+	cap    int
+	closed bool
+
+	// Completion-time EWMA, fed by the workers, used to estimate a
+	// Retry-After hint for rejected submitters.
+	ewmaSec float64
+}
+
+// NewQueue builds a queue admitting at most capacity jobs (min 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Len returns the current queue depth.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.ids)
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// TryPush admits id, or fails fast with ErrQueueFull / ErrQueueClosed.
+func (q *Queue) TryPush(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if len(q.ids) >= q.cap {
+		return ErrQueueFull
+	}
+	q.ids = append(q.ids, id)
+	q.cond.Signal()
+	return nil
+}
+
+// ForcePush admits id even beyond capacity. Recovery uses it so a spool
+// holding more interrupted jobs than the configured capacity still
+// re-admits every one of them (the memory is already accounted for: the
+// jobs exist on disk).
+func (q *Queue) ForcePush(id string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.ids = append(q.ids, id)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until an ID is available (returning ok=true) or the queue is
+// closed and empty (ok=false).
+func (q *Queue) Pop() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.ids) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.ids) == 0 {
+		return "", false
+	}
+	id := q.ids[0]
+	q.ids = q.ids[1:]
+	return id, true
+}
+
+// Close stops admission and wakes blocked Pops; queued IDs still drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// ObserveJobDuration feeds one completed job's wall time into the
+// Retry-After estimator (EWMA, alpha 0.3).
+func (q *Queue) ObserveJobDuration(d time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	sec := d.Seconds()
+	if q.ewmaSec == 0 {
+		q.ewmaSec = sec
+	} else {
+		q.ewmaSec = 0.7*q.ewmaSec + 0.3*sec
+	}
+}
+
+// RetryAfter estimates how long a rejected submitter should wait for a
+// slot to open: the time for the pool to chew through one queue slot,
+// clamped to [1s, 10min]. With no completed jobs yet the floor applies.
+func (q *Queue) RetryAfter(workers int) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	sec := q.ewmaSec * float64(len(q.ids)+1) / float64(workers)
+	sec = math.Ceil(sec)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 600 {
+		sec = 600
+	}
+	return time.Duration(sec) * time.Second
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"puffer/internal/obs"
+)
+
+// Config configures a job server.
+type Config struct {
+	// SpoolDir is the root of the durable job spool.
+	SpoolDir string
+	// QueueCap bounds the admission queue (default 16). Submissions beyond
+	// it receive 429 + Retry-After; recovery re-admission is exempt.
+	QueueCap int
+	// Workers is the size of the job worker pool (default 2). Each worker
+	// runs one staged pipeline at a time with its own telemetry registry.
+	Workers int
+	// DefaultJobTimeout applies to jobs that do not set their own
+	// timeout_sec (0 = no deadline). The clock restarts on resume.
+	DefaultJobTimeout time.Duration
+	// Logf, when non-nil, receives daemon progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Cancellation causes, distinguished through context.Cause so the worker
+// can tell a drain-park from a client cancel from a deadline.
+var (
+	errParked      = errors.New("daemon draining: job parked")
+	errJobCanceled = errors.New("job canceled by client")
+	errJobDeadline = errors.New("job deadline exceeded")
+)
+
+// activeJob is the in-memory runtime of one admitted job.
+type activeJob struct {
+	hub    *Hub
+	reg    *obs.Registry
+	cancel context.CancelCauseFunc // nil until the job starts running
+}
+
+// Server is the placement job service: spool + queue + worker pool +
+// per-job progress hubs + daemon-level metrics. Construct with New,
+// start the pool with Start, attach the HTTP surface via Handler, and
+// stop with Drain (park) or Close.
+type Server struct {
+	cfg   Config
+	spool *Spool
+	queue *Queue
+	reg   *obs.Registry // daemon-level metrics (queue depth, job counts)
+
+	baseCtx  context.Context
+	stopBase context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*activeJob // every job seen this boot, incl. finished
+	finished []string              // finished-job hub retention order
+	draining bool
+
+	// Recovered is the number of interrupted jobs re-admitted at boot.
+	Recovered int
+}
+
+// hubRetention bounds how many finished jobs keep their event hubs (and
+// registries) in memory for late watchers; older ones fall back to the
+// spooled manifest/artifacts.
+const hubRetention = 128
+
+// New opens the spool, re-admits interrupted jobs, and prepares the worker
+// pool (not yet started).
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	sp, err := OpenSpool(cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		spool:    sp,
+		queue:    NewQueue(cfg.QueueCap),
+		reg:      obs.NewRegistry(),
+		baseCtx:  ctx,
+		stopBase: cancel,
+		jobs:     make(map[string]*activeJob),
+	}
+	recovered, err := sp.Recover()
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("serve: recover spool: %w", err)
+	}
+	for _, m := range recovered {
+		s.ensureJob(m.ID)
+		// ForcePush: every interrupted job gets back in line even if the
+		// spool holds more than one queue's worth.
+		if err := s.queue.ForcePush(m.ID); err != nil {
+			cancel()
+			return nil, err
+		}
+		cfg.Logf("serve: re-admitted job %s (attempt %d, stage %q)", m.ID, m.Attempts, m.Stage)
+	}
+	s.Recovered = len(recovered)
+	s.reg.Gauge("serve.queue_depth").Set(float64(s.queue.Len()))
+	s.reg.Gauge("serve.queue_cap").Set(float64(cfg.QueueCap))
+	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
+	return s, nil
+}
+
+// Spool exposes the server's spool (read-only use).
+func (s *Server) Spool() *Spool { return s.spool }
+
+// Registry exposes the daemon-level metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ensureJob returns the job's runtime entry, creating the hub on first use.
+func (s *Server) ensureJob(id string) *activeJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.jobs[id]
+	if !ok {
+		a = &activeJob{hub: NewHub()}
+		s.jobs[id] = a
+	}
+	return a
+}
+
+// jobRuntime returns the runtime entry for id, if this boot has one.
+func (s *Server) jobRuntime(id string) (*activeJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.jobs[id]
+	return a, ok
+}
+
+// retireJob trims hub retention after a job reaches a terminal state.
+func (s *Server) retireJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, id)
+	for len(s.finished) > hubRetention {
+		old := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, old)
+	}
+}
+
+// Drain gracefully stops the server: admission closes (submissions get
+// 503), running jobs are canceled with the park cause so they stop within
+// one pipeline iteration and keep their last stage-boundary checkpoint,
+// and the pool is awaited up to ctx's deadline. Queued jobs stay queued in
+// the spool; the next boot re-admits queued and parked jobs alike.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	cancels := make([]context.CancelCauseFunc, 0, len(s.jobs))
+	for _, a := range s.jobs {
+		if a.cancel != nil {
+			cancels = append(cancels, a.cancel)
+		}
+	}
+	s.mu.Unlock()
+
+	s.queue.Close()
+	for _, c := range cancels {
+		c(errParked)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", context.Cause(ctx))
+	}
+}
+
+// Close force-stops the server (Drain with a generous default window,
+// then the base context is canceled regardless).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err := s.Drain(ctx)
+	s.stopBase()
+	return err
+}

@@ -1,0 +1,677 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"puffer/internal/synth"
+	"puffer/pipeline"
+)
+
+// quickSpec is a placement job small enough to finish in well under a
+// second but large enough to exercise every stage.
+func quickSpec() JobSpec {
+	s := JobSpec{Kind: KindPlace, Profile: "MEDIA_SUBSYS", Scale: 3000, Seed: 5}
+	s.Normalize()
+	return s
+}
+
+// slowSpec is a placement job that runs for a few seconds — long enough
+// for a test to cancel or drain it mid-flight without racing.
+func slowSpec() JobSpec {
+	s := JobSpec{Kind: KindPlace, Profile: "MEDIA_SUBSYS", Scale: 400, Seed: 5}
+	s.Normalize()
+	return s
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.SpoolDir == "" {
+		cfg.SpoolDir = t.TempDir()
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// enqueue spools and admits a job directly (bypassing HTTP), as the
+// submit handler would.
+func enqueue(t *testing.T, s *Server, spec JobSpec) string {
+	t.Helper()
+	m := &Manifest{ID: newJobID(), Spec: spec, State: StateQueued, SubmittedAt: time.Now().UTC()}
+	if err := s.spool.CreateJob(m); err != nil {
+		t.Fatal(err)
+	}
+	s.ensureJob(m.ID)
+	if err := s.queue.TryPush(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	return m.ID
+}
+
+// waitState polls the durable manifest until the job reaches want.
+func waitState(t *testing.T, s *Server, id string, want JobState) *Manifest {
+	t.Helper()
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		m, err := s.spool.ReadManifest(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.State == want {
+			return m
+		}
+		if m.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q) while waiting for %s", id, m.State, m.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s waiting for %s", id, m.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitEvent consumes the job's hub until an event satisfies pred.
+func waitEvent(t *testing.T, s *Server, id string, pred func(Event) bool) {
+	t.Helper()
+	a := s.ensureJob(id)
+	replay, live, cancel := a.hub.Subscribe()
+	defer cancel()
+	for _, e := range replay {
+		if pred(e) {
+			return
+		}
+	}
+	timeout := time.After(90 * time.Second)
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				t.Fatal("event stream ended before the awaited event")
+			}
+			if pred(e) {
+				return
+			}
+		case <-timeout:
+			t.Fatal("timed out waiting for event")
+		}
+	}
+}
+
+func TestServerRunsJobEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.Start()
+	id := enqueue(t, s, quickSpec())
+	m := waitState(t, s, id, StateDone)
+
+	if m.Result == nil || m.Result.HPWL <= 0 {
+		t.Fatalf("done job has result %+v", m.Result)
+	}
+	if m.Attempts != 1 || m.FinishedAt == nil {
+		t.Fatalf("manifest bookkeeping: attempts=%d finished=%v", m.Attempts, m.FinishedAt)
+	}
+	// Artifacts: the run report, the spooled checkpoint, the metric stream,
+	// and the placed Bookshelf design must all be present and listed.
+	for _, want := range []string{"report.json", "checkpoint.json", "metrics.jsonl", "placed.aux"} {
+		found := false
+		for _, a := range m.Result.Artifacts {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("artifact %s missing from %v", want, m.Result.Artifacts)
+		}
+	}
+	// The final checkpoint names the last stage, and diag-style validation
+	// accepts it.
+	cp, err := pipeline.LoadCheckpoint(s.spool.CheckpointPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Stage != "dp" {
+		t.Fatalf("final checkpoint after stage %q, want dp", cp.Stage)
+	}
+}
+
+func TestHTTPSurface(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := quickSpec()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var m Manifest
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if m.ID == "" || m.State != StateQueued {
+		t.Fatalf("submit returned %+v", m)
+	}
+
+	// The SSE stream replays progress and terminates at the final state.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + m.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var finalState, lastStage string
+	var sawSample bool
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		switch e.Type {
+		case "state":
+			finalState = string(e.State)
+		case "stage":
+			lastStage = e.Stage
+		case "sample":
+			sawSample = true
+		}
+	}
+	resp.Body.Close()
+	if finalState != "done" {
+		t.Fatalf("stream ended with state %q, want done", finalState)
+	}
+	if lastStage != "dp" || !sawSample {
+		t.Fatalf("stream missing progress: lastStage=%q sawSample=%v", lastStage, sawSample)
+	}
+
+	// Result, artifact download, list, health.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + m.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res JobResult
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.HPWL <= 0 {
+		t.Fatalf("result: status %d, %+v", resp.StatusCode, res)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + m.ID + "/artifacts/report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.spool.JobDir(m.ID) + "/report.json")
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(got.Bytes(), data) {
+		t.Fatalf("artifact download mismatch: status %d, %d vs %d bytes",
+			resp.StatusCode, got.Len(), len(data))
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + m.ID + "/artifacts/..%2fmanifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("artifact path escape served")
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	json.NewDecoder(resp.Body).Decode(&rows)
+	resp.Body.Close()
+	if len(rows) != 1 || rows[0]["id"] != m.ID || rows[0]["state"] != "done" {
+		t.Fatalf("list rows %+v", rows)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "serving" {
+		t.Fatalf("health %+v", health)
+	}
+
+	// The folded-in debug surface answers on the same port.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	prom.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(prom.String(), "serve_jobs_completed") {
+		t.Fatalf("prometheus surface missing daemon counters:\n%s", prom.String())
+	}
+}
+
+func TestSubmitBackpressure429(t *testing.T) {
+	// One-slot queue and a pool that is never started: the second
+	// submission must be rejected with 429 and a Retry-After hint, and must
+	// leave nothing behind in the spool.
+	s := newTestServer(t, Config{QueueCap: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	submit := func() *http.Response {
+		body, _ := json.Marshal(quickSpec())
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := submit(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	ms, err := s.spool.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("spool holds %d jobs after rejection, want 1", len(ms))
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{`, // truncated JSON
+		`{"profile":"NO_SUCH_PROFILE"}`,
+		`{"kind":"mine","profile":"OR1200"}`,
+		`{}`, // no design source
+		`{"profile":"OR1200","unknown_field":1}`,
+		`{"bookshelf":{"a.nodes":"x"}}`, // no .aux
+	} {
+		resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s := newTestServer(t, Config{}) // pool never started: the job stays queued
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id := enqueue(t, s, quickSpec())
+
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	m, err := s.spool.ReadManifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State != StateCanceled || m.FinishedAt == nil {
+		t.Fatalf("after cancel: %+v", m)
+	}
+	// Cancel is idempotent-ish: a second cancel reports the conflict.
+	resp, err = http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second cancel: %d, want 409", resp.StatusCode)
+	}
+	// And the result endpoint refuses until done.
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result of canceled job: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id := enqueue(t, s, slowSpec())
+	// Wait until the engine is demonstrably mid-placement.
+	waitEvent(t, s, id, func(e Event) bool { return e.Type == "sample" })
+
+	resp, err := http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running: %d, want 202", resp.StatusCode)
+	}
+	m := waitState(t, s, id, StateCanceled)
+	if !strings.Contains(m.Error, "canceled") {
+		t.Fatalf("canceled job error %q", m.Error)
+	}
+}
+
+func TestJobDeadlineFailsJob(t *testing.T) {
+	s := newTestServer(t, Config{})
+	s.Start()
+	spec := slowSpec()
+	spec.TimeoutSec = 0.2
+	id := enqueue(t, s, spec)
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		m, err := s.spool.ReadManifest(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.State == StateFailed {
+			if !strings.Contains(m.Error, "deadline") {
+				t.Fatalf("deadline failure error %q", m.Error)
+			}
+			return
+		}
+		if m.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job state %s (error %q), want failed(deadline)", m.State, m.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDrainParksRunningJobAndRestartFinishes(t *testing.T) {
+	spool := t.TempDir()
+	s := newTestServer(t, Config{SpoolDir: spool})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	id := enqueue(t, s, slowSpec())
+	waitEvent(t, s, id, func(e Event) bool { return e.Type == "sample" })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.spool.ReadManifest(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State != StateParked {
+		t.Fatalf("after drain: state %s, want parked", m.State)
+	}
+	if m.StartedAt != nil || m.FinishedAt != nil {
+		t.Fatalf("parked manifest keeps timestamps: %+v", m)
+	}
+	// Draining daemons stop admitting.
+	body, _ := json.Marshal(quickSpec())
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+
+	// "Restart": a fresh server over the same spool re-admits and finishes.
+	s2 := newTestServer(t, Config{SpoolDir: spool})
+	if s2.Recovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1", s2.Recovered)
+	}
+	s2.Start()
+	m2 := waitState(t, s2, id, StateDone)
+	if m2.Attempts != 2 {
+		t.Fatalf("resumed job attempts = %d, want 2", m2.Attempts)
+	}
+	if m2.Result == nil || m2.Result.HPWL <= 0 {
+		t.Fatalf("resumed job result %+v", m2.Result)
+	}
+}
+
+// TestCrashResumeMatchesUninterruptedRun is the acceptance test for the
+// spool resume path: a daemon "killed" right after the place stage's
+// checkpoint lands must, on restart, resume from that checkpoint and
+// produce exactly the final HPWL of an uninterrupted run — the pipeline's
+// stage-boundary determinism carried through the job service.
+func TestCrashResumeMatchesUninterruptedRun(t *testing.T) {
+	spec := quickSpec()
+
+	// Reference: the same job, uninterrupted.
+	ref := newTestServer(t, Config{})
+	ref.Start()
+	refID := enqueue(t, ref, spec)
+	refM := waitState(t, ref, refID, StateDone)
+
+	// Crash simulation: spool a job, run ONLY the place stage with the
+	// exact configuration the worker builds, keep its checkpoint, and
+	// leave the manifest in running — the state a killed daemon leaves.
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	m := &Manifest{ID: "cafecafecafe", Spec: spec, State: StateQueued, SubmittedAt: now}
+	if err := sp.CreateJob(m); err != nil {
+		t.Fatal(err)
+	}
+	p, err := synth.ProfileByName(spec.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.Generate(p, spec.Scale, spec.Seed)
+	cfg, err := placeConfig(&spec, nil, NewHub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pipeline.NewRunContext(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placeOnly := pipeline.New(pipeline.Default()[0])
+	placeOnly.Checkpointer = func(cp *pipeline.Checkpoint) error {
+		return cp.Save(sp.CheckpointPath(m.ID))
+	}
+	if err := placeOnly.Run(context.Background(), rc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Update(m.ID, func(mm *Manifest) error {
+		mm.State = StateRunning
+		mm.Stage = pipeline.Default()[0].Name()
+		mm.StartedAt = &now
+		mm.Attempts = 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the crashed spool.
+	s := newTestServer(t, Config{SpoolDir: dir})
+	if s.Recovered != 1 {
+		t.Fatalf("recovered %d jobs, want 1", s.Recovered)
+	}
+	s.Start()
+	got := waitState(t, s, m.ID, StateDone)
+	if got.Attempts != 2 {
+		t.Fatalf("resumed attempts = %d, want 2", got.Attempts)
+	}
+	if got.Result.HPWL != refM.Result.HPWL {
+		t.Fatalf("resumed HPWL %v != uninterrupted HPWL %v",
+			got.Result.HPWL, refM.Result.HPWL)
+	}
+	if got.Result.GPIters == refM.Result.GPIters && got.Result.GPIters != 0 {
+		// The resumed run skipped global placement entirely, so its GP
+		// iteration count must come from the checkpointed stage log — equal
+		// counts are expected; this branch documents that, not a failure.
+		_ = got
+	}
+}
+
+// TestResumeSurvivesCorruptCheckpoint: a damaged checkpoint demotes the
+// recovered job to a fresh run instead of failing it.
+func TestResumeSurvivesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := quickSpec()
+	m := &Manifest{ID: "badbadbadbad", Spec: spec, State: StateRunning,
+		SubmittedAt: time.Now().UTC(), Stage: "place", Attempts: 1}
+	if err := sp.CreateJob(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sp.CheckpointPath(m.ID), []byte(`{"format":"puffer/checkpoint/v1","stage":"place"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{SpoolDir: dir})
+	s.Start()
+	got := waitState(t, s, m.ID, StateDone)
+	if got.Result == nil || got.Result.HPWL <= 0 {
+		t.Fatalf("job with corrupt checkpoint: %+v", got.Result)
+	}
+}
+
+func TestExploreJobRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration budget too slow for -short")
+	}
+	s := newTestServer(t, Config{})
+	s.Start()
+	// MaxIters keeps each exploration trial's placement cheap — the test
+	// exercises the job plumbing, not the SMBO's convergence.
+	spec := JobSpec{Kind: KindExplore, Profile: "MEDIA_SUBSYS", Scale: 6000, Seed: 3, Budget: 2, MaxIters: 60}
+	spec.Normalize()
+	id := enqueue(t, s, spec)
+	m := waitState(t, s, id, StateDone)
+	if m.Result == nil || m.Result.Trials < 1 {
+		t.Fatalf("explore result %+v", m.Result)
+	}
+	if _, err := os.Stat(s.spool.JobDir(id) + "/strategy.json"); err != nil {
+		t.Fatalf("tuned strategy artifact: %v", err)
+	}
+}
+
+func TestConcurrentJobsIsolatedRegistries(t *testing.T) {
+	// Two jobs running simultaneously on separate workers must keep their
+	// telemetry apart: each hub sees only its own job's samples, and the
+	// results match the same specs run serially.
+	s := newTestServer(t, Config{Workers: 2})
+	s.Start()
+	specA, specB := quickSpec(), quickSpec()
+	specB.Seed = 11
+	idA := enqueue(t, s, specA)
+	idB := enqueue(t, s, specB)
+	mA := waitState(t, s, idA, StateDone)
+	mB := waitState(t, s, idB, StateDone)
+
+	serial := newTestServer(t, Config{Workers: 1})
+	serial.Start()
+	sA := waitState(t, serial, enqueue(t, serial, specA), StateDone)
+	sB := waitState(t, serial, enqueue(t, serial, specB), StateDone)
+	if mA.Result.HPWL != sA.Result.HPWL {
+		t.Errorf("seed-5 concurrent HPWL %v != serial %v", mA.Result.HPWL, sA.Result.HPWL)
+	}
+	if mB.Result.HPWL != sB.Result.HPWL {
+		t.Errorf("seed-11 concurrent HPWL %v != serial %v", mB.Result.HPWL, sB.Result.HPWL)
+	}
+	if mA.Result.HPWL == mB.Result.HPWL {
+		t.Errorf("different seeds produced identical HPWL %v — suspicious bleed", mA.Result.HPWL)
+	}
+}
+
+func TestSSEOfPreRestartJobTerminates(t *testing.T) {
+	// A job finished before the daemon restarted has no hub this boot; its
+	// event stream must still answer with the durable state and end.
+	dir := t.TempDir()
+	sp, err := OpenSpool(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UTC()
+	m := &Manifest{ID: "feedfeedfeed", Spec: quickSpec(), State: StateDone,
+		SubmittedAt: now, FinishedAt: &now, Attempts: 1,
+		Result: &JobResult{HPWL: 123}}
+	if err := sp.CreateJob(m); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{SpoolDir: dir})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(ts.URL + "/api/v1/jobs/" + m.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err) // a hang here means the stream never terminated
+	}
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), `"state":"done"`) {
+		t.Fatalf("synthetic stream: %q", buf.String())
+	}
+}
+
+func TestRetryAfterEstimateUsesObservedDurations(t *testing.T) {
+	// After a completed job the 429 hint reflects real runtimes rather
+	// than the 1-second floor... unless jobs genuinely run sub-second, in
+	// which case the floor IS the estimate. Assert only coherence.
+	s := newTestServer(t, Config{QueueCap: 1})
+	s.Start()
+	id := enqueue(t, s, quickSpec())
+	waitState(t, s, id, StateDone)
+	ra := s.queue.RetryAfter(s.cfg.Workers)
+	if ra < time.Second || ra > 10*time.Minute {
+		t.Fatalf("RetryAfter out of range: %s", ra)
+	}
+}

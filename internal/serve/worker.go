@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"puffer"
+	"puffer/internal/bookshelf"
+	"puffer/internal/netlist"
+	"puffer/internal/obs"
+	"puffer/internal/padding"
+	"puffer/internal/router"
+	"puffer/internal/synth"
+	"puffer/pipeline"
+)
+
+// errSkipJob marks a popped queue entry whose manifest is no longer
+// queued (canceled while waiting, or a duplicate admission).
+var errSkipJob = errors.New("serve: job no longer queued")
+
+// workerLoop is one pool worker: pop, run, repeat until the queue closes.
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for {
+		id, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.reg.Gauge("serve.queue_depth").Set(float64(s.queue.Len()))
+		if s.Draining() {
+			// Leave the job spooled as queued; the next boot re-admits it.
+			continue
+		}
+		s.runJob(id)
+	}
+}
+
+// runJob executes one admitted job end to end: claim, telemetry setup,
+// kind dispatch, outcome classification, artifact/manifest finalization.
+func (s *Server) runJob(id string) {
+	start := time.Now()
+	m, err := s.spool.Update(id, func(mm *Manifest) error {
+		if mm.State != StateQueued {
+			return errSkipJob
+		}
+		now := time.Now()
+		mm.State = StateRunning
+		mm.StartedAt = &now
+		mm.Attempts++
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, errSkipJob) {
+			s.cfg.Logf("serve: job %s: claim failed: %v", id, err)
+		}
+		return
+	}
+
+	a := s.ensureJob(id)
+	jobCtx, cancel := context.WithCancelCause(s.baseCtx)
+	s.mu.Lock()
+	a.cancel = cancel
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		cancel(errParked) // drain began between Pop and registration
+	}
+	defer cancel(nil)
+
+	timeout := time.Duration(m.Spec.TimeoutSec * float64(time.Second))
+	if timeout == 0 {
+		timeout = s.cfg.DefaultJobTimeout
+	}
+	runCtx := jobCtx
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithDeadlineCause(jobCtx, time.Now().Add(timeout), errJobDeadline)
+		defer tcancel()
+	}
+
+	// Per-job telemetry: an isolated registry whose samples stream to the
+	// job's hub and to the spooled metrics.jsonl, a tracer for the trace
+	// artifact, and a live expvar registration while the job runs.
+	sinks := []obs.Sink{hubSink{a.hub}}
+	metricsPath, _ := s.spool.ArtifactPath(id, "metrics.jsonl")
+	metricsF, ferr := os.OpenFile(metricsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	var metricsSink obs.Sink
+	if ferr == nil {
+		metricsSink = obs.NewJSONLSink(metricsF)
+		sinks = append(sinks, metricsSink)
+	}
+	reg := obs.NewRegistry(sinks...)
+	tracer := obs.NewTracer()
+	rec := obs.NewRecorder(tracer, reg)
+	s.mu.Lock()
+	a.reg = reg
+	s.mu.Unlock()
+	obs.PublishExpvar("job-"+id, reg)
+	defer obs.UnpublishExpvar("job-" + id)
+
+	s.reg.Gauge("serve.active_jobs").Set(float64(s.activeCount()))
+	a.hub.Publish(Event{Type: "state", State: StateRunning})
+	s.cfg.Logf("serve: job %s: running (kind=%s attempt=%d)", id, m.Spec.Kind, m.Attempts)
+
+	var result *JobResult
+	switch m.Spec.Kind {
+	case KindExplore:
+		result, err = s.execExplore(runCtx, m, a, rec)
+	default:
+		result, err = s.execPlace(runCtx, m, a, rec)
+	}
+
+	// Spool the trace and flush the metric stream regardless of outcome —
+	// a parked or failed job's partial telemetry is exactly what the
+	// operator wants to look at.
+	if tracer.Len() > 0 {
+		if tp, perr := s.spool.ArtifactPath(id, "trace.json"); perr == nil {
+			if werr := tracer.WriteFile(tp); werr != nil {
+				s.cfg.Logf("serve: job %s: write trace: %v", id, werr)
+			}
+		}
+	}
+	if metricsSink != nil {
+		metricsSink.Flush()
+		metricsF.Close()
+	}
+
+	state, errMsg := classifyOutcome(runCtx, err)
+	if result != nil {
+		result.Artifacts = s.listArtifacts(id)
+	}
+	now := time.Now()
+	if _, uerr := s.spool.Update(id, func(mm *Manifest) error {
+		mm.State = state
+		mm.Error = errMsg
+		mm.Result = result
+		if state.Terminal() {
+			mm.FinishedAt = &now
+		} else {
+			mm.StartedAt = nil
+		}
+		return nil
+	}); uerr != nil {
+		s.cfg.Logf("serve: job %s: finalize manifest: %v", id, uerr)
+	}
+
+	s.queue.ObserveJobDuration(time.Since(start))
+	switch state {
+	case StateDone:
+		s.reg.Counter("serve.jobs_completed").Inc()
+	case StateFailed:
+		s.reg.Counter("serve.jobs_failed").Inc()
+	case StateCanceled:
+		s.reg.Counter("serve.jobs_canceled").Inc()
+	case StateParked:
+		s.reg.Counter("serve.jobs_parked").Inc()
+	}
+	a.hub.Publish(Event{Type: "state", State: state, Error: errMsg})
+	a.hub.Close()
+	s.mu.Lock()
+	a.cancel = nil
+	s.mu.Unlock()
+	if state.Terminal() {
+		s.retireJob(id)
+	}
+	s.reg.Gauge("serve.active_jobs").Set(float64(s.activeCount()))
+	s.cfg.Logf("serve: job %s: %s (%s)", id, state, time.Since(start).Round(time.Millisecond))
+}
+
+// classifyOutcome maps an execution error to the job's next state using
+// the context's cancellation cause: drain-park, client cancel, deadline,
+// or a genuine engine failure.
+func classifyOutcome(ctx context.Context, err error) (JobState, string) {
+	if err == nil {
+		return StateDone, ""
+	}
+	if errors.Is(err, pipeline.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		cause := context.Cause(ctx)
+		switch {
+		case errors.Is(cause, errParked):
+			return StateParked, ""
+		case errors.Is(cause, errJobCanceled):
+			return StateCanceled, errJobCanceled.Error()
+		case errors.Is(cause, errJobDeadline):
+			return StateFailed, errJobDeadline.Error()
+		}
+	}
+	return StateFailed, err.Error()
+}
+
+// activeCount returns how many jobs are currently cancelable (running).
+func (s *Server) activeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.jobs {
+		if a.cancel != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// buildDesign materializes the job's design: a deterministic synthetic
+// profile (regenerated bit-identically on resume) or the spooled
+// Bookshelf upload (re-parsed on resume).
+func (s *Server) buildDesign(m *Manifest) (*netlist.Design, error) {
+	if m.Spec.Profile != "" {
+		p, err := synth.ProfileByName(m.Spec.Profile)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Generate(p, m.Spec.Scale, m.Spec.Seed), nil
+	}
+	return bookshelf.Parse(s.spool.AuxPath(m))
+}
+
+// placeConfig builds the pipeline configuration for a place job.
+func placeConfig(spec *JobSpec, rec *obs.Recorder, hub *Hub) (pipeline.Config, error) {
+	cfg := pipeline.DefaultConfig()
+	cfg.Place.Seed = spec.Seed
+	if spec.MaxIters > 0 {
+		cfg.Place.MaxIters = spec.MaxIters
+	}
+	cfg.Workers = spec.Workers
+	if len(spec.Strategy) > 0 {
+		st := padding.DefaultStrategy()
+		if err := json.Unmarshal(spec.Strategy, &st); err != nil {
+			return cfg, fmt.Errorf("decode strategy: %w", err)
+		}
+		cfg.Strategy = st
+		cfg.Legal.Theta = st.Theta
+	}
+	cfg.Obs = rec
+	cfg.Logf = func(format string, args ...any) {
+		hub.Publish(Event{Type: "log", Line: fmt.Sprintf(format, args...)})
+	}
+	return cfg, nil
+}
+
+// execPlace runs (or resumes) a placement job through the staged pipeline,
+// checkpointing into the spool after every stage.
+func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *obs.Recorder) (*JobResult, error) {
+	d, err := s.buildDesign(m)
+	if err != nil {
+		return nil, fmt.Errorf("build design: %w", err)
+	}
+	cfg, err := placeConfig(&m.Spec, rec, a.hub)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := pipeline.NewRunContext(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stages := pipeline.Default()
+	if m.Spec.Route {
+		stages = append(stages, pipeline.Route(router.Config{}))
+	}
+	pl := pipeline.New(stages...)
+	id := m.ID
+	pl.OnStage = func(st pipeline.StageStats) {
+		a.hub.Publish(Event{Type: "stage", Stage: st.Name, StageStatus: "done",
+			Iters: st.Iters, WallMS: float64(st.Wall) / 1e6})
+	}
+	pl.Checkpointer = func(cp *pipeline.Checkpoint) error {
+		if err := cp.Save(s.spool.CheckpointPath(id)); err != nil {
+			return err
+		}
+		_, err := s.spool.Update(id, func(mm *Manifest) error {
+			mm.Stage = cp.Stage
+			return nil
+		})
+		return err
+	}
+
+	// Resume from the spooled checkpoint when one exists; a corrupt or
+	// mismatched checkpoint demotes the job to a fresh run rather than
+	// failing it (the design source is still authoritative).
+	var runErr error
+	ckptPath := s.spool.CheckpointPath(id)
+	if cp, lerr := pipeline.LoadCheckpoint(ckptPath); lerr == nil {
+		a.hub.Publish(Event{Type: "log", Line: fmt.Sprintf("resuming from checkpoint after stage %q", cp.Stage)})
+		runErr = pl.Resume(ctx, rc, cp)
+		if runErr != nil && !errors.Is(runErr, pipeline.ErrCanceled) {
+			a.hub.Publish(Event{Type: "log", Line: fmt.Sprintf("resume failed (%v); restarting from scratch", runErr)})
+			os.Remove(ckptPath)
+			if d, err = s.buildDesign(m); err != nil {
+				return nil, err
+			}
+			if rc, err = pipeline.NewRunContext(d, cfg); err != nil {
+				return nil, err
+			}
+			runErr = pl.Run(ctx, rc)
+		}
+	} else {
+		if !os.IsNotExist(lerr) {
+			a.hub.Publish(Event{Type: "log", Line: fmt.Sprintf("ignoring unreadable checkpoint: %v", lerr)})
+		}
+		runErr = pl.Run(ctx, rc)
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Artifacts of a completed job: the structured run report and the
+	// placed design in Bookshelf form.
+	if rp, perr := s.spool.ArtifactPath(id, "report.json"); perr == nil {
+		if rep, berr := pipeline.BuildReport(rc); berr == nil {
+			if werr := rep.Save(rp); werr != nil {
+				s.cfg.Logf("serve: job %s: write report: %v", id, werr)
+			}
+		}
+	}
+	if _, werr := bookshelf.Write(d, s.spool.JobDir(id), "placed"); werr != nil {
+		s.cfg.Logf("serve: job %s: write placed design: %v", id, werr)
+	}
+
+	res := rc.Result
+	out := &JobResult{
+		HPWL:        res.HPWL,
+		GPIters:     res.GP.Iters,
+		GPOverflow:  res.GP.Overflow,
+		PaddingRuns: len(res.PaddingRuns),
+		RuntimeMS:   float64(res.Runtime) / float64(time.Millisecond),
+	}
+	if rr := res.Route; rr != nil {
+		out.HOF, out.VOF, out.RoutedWL = rr.HOF, rr.VOF, rr.WL
+	}
+	return out, nil
+}
+
+// execExplore runs a strategy-exploration job. Exploration carries no
+// resumable design state, so a re-admitted exploration starts over.
+func (s *Server) execExplore(ctx context.Context, m *Manifest, a *activeJob, rec *obs.Recorder) (*JobResult, error) {
+	d, err := s.buildDesign(m)
+	if err != nil {
+		return nil, fmt.Errorf("build design: %w", err)
+	}
+	cfg, err := placeConfig(&m.Spec, rec, a.hub)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	final, _, trials, err := puffer.ExploreStrategyObs(ctx, d, cfg.Place, m.Spec.Budget, m.Spec.Seed, cfg.Logf, rec)
+	if err != nil {
+		return nil, err
+	}
+	if sp, perr := s.spool.ArtifactPath(m.ID, "strategy.json"); perr == nil {
+		if werr := puffer.SaveStrategy(sp, final); werr != nil {
+			s.cfg.Logf("serve: job %s: write strategy: %v", m.ID, werr)
+		}
+	}
+	return &JobResult{
+		Trials:    trials,
+		BestScore: rec.Registry().Gauge("explore.best_score").Value(),
+		RuntimeMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// listArtifacts returns the downloadable files present in the job dir.
+func (s *Server) listArtifacts(id string) []string {
+	entries, err := os.ReadDir(s.spool.JobDir(id))
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == "manifest.json" {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	return out
+}

@@ -4,9 +4,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"puffer/internal/netlist"
 )
+
+// CheckpointFormat identifies the checkpoint JSON document version.
+// LoadCheckpoint rejects documents carrying any other format string (or
+// none at all) instead of silently decoding whatever JSON it is handed —
+// a job daemon resuming from a spool must fail loudly on a foreign or
+// corrupt file, not resume from garbage positions.
+const CheckpointFormat = "puffer/checkpoint/v1"
 
 // Checkpoint is the complete cross-stage flow state of a design at a
 // stage boundary: cell positions, analog cell padding, and net weights
@@ -16,6 +24,9 @@ import (
 // values survive the JSON round trip bit for bit (shortest round-trip
 // encoding), so file-based resume is loss-free.
 type Checkpoint struct {
+	// Format is the document version, CheckpointFormat. Capture and Save
+	// stamp it; LoadCheckpoint validates it.
+	Format string `json:"format"`
 	// Stage is the name of the stage after which the state was captured.
 	Stage string `json:"stage"`
 	// X, Y, PadW are indexed by cell ID (fixed cells included, so the
@@ -30,6 +41,7 @@ type Checkpoint struct {
 // Capture snapshots d's flow state at the boundary after the named stage.
 func Capture(stage string, d *netlist.Design) *Checkpoint {
 	cp := &Checkpoint{
+		Format:    CheckpointFormat,
 		Stage:     stage,
 		X:         make([]float64, len(d.Cells)),
 		Y:         make([]float64, len(d.Cells)),
@@ -44,6 +56,24 @@ func Capture(stage string, d *netlist.Design) *Checkpoint {
 		cp.NetWeight[n] = d.Nets[n].Weight
 	}
 	return cp
+}
+
+// Validate checks the checkpoint's internal consistency: the format
+// string, a non-empty stage name, and position/padding slices of equal
+// length. Save refuses to write and LoadCheckpoint refuses to return a
+// checkpoint that fails it.
+func (cp *Checkpoint) Validate() error {
+	if cp.Format != CheckpointFormat {
+		return fmt.Errorf("checkpoint format %q, want %q", cp.Format, CheckpointFormat)
+	}
+	if cp.Stage == "" {
+		return fmt.Errorf("checkpoint has no stage name")
+	}
+	if len(cp.Y) != len(cp.X) || len(cp.PadW) != len(cp.X) {
+		return fmt.Errorf("checkpoint slices disagree: %d x, %d y, %d pad_w",
+			len(cp.X), len(cp.Y), len(cp.PadW))
+	}
+	return nil
 }
 
 // Apply writes the checkpointed state back into d. The design must have
@@ -66,24 +96,69 @@ func (cp *Checkpoint) Apply(d *netlist.Design) error {
 	return nil
 }
 
-// Save writes the checkpoint as JSON.
+// Save writes the checkpoint as JSON, atomically: the bytes go to a
+// temporary file in the destination directory which is then renamed over
+// path, so a crash mid-write can never leave a truncated resume point —
+// readers see either the previous complete checkpoint or the new one.
 func (cp *Checkpoint) Save(path string) error {
+	if cp.Format == "" {
+		cp.Format = CheckpointFormat
+	}
+	if err := cp.Validate(); err != nil {
+		return fmt.Errorf("pipeline: save checkpoint: %w", err)
+	}
 	data, err := json.Marshal(cp)
 	if err != nil {
 		return fmt.Errorf("pipeline: encode checkpoint: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicWrite(path, append(data, '\n'))
 }
 
-// LoadCheckpoint reads a checkpoint saved by Save.
+// atomicWrite writes data to path via a temp file + rename in the same
+// directory (rename is atomic within a filesystem).
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return werr
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint saved by Save. It rejects empty or
+// truncated files, JSON that is not a checkpoint document, and documents
+// whose format field is missing or unknown, each with an error naming the
+// file — any JSON object no longer decodes silently into a resume point.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("pipeline: checkpoint %s: file is empty", path)
+	}
 	cp := &Checkpoint{}
 	if err := json.Unmarshal(data, cp); err != nil {
-		return nil, fmt.Errorf("pipeline: decode checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("pipeline: decode checkpoint %s (empty, truncated, or not a checkpoint?): %w", path, err)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint %s: %w", path, err)
 	}
 	return cp, nil
 }

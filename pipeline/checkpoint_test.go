@@ -1,0 +1,100 @@
+package pipeline_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"puffer/internal/synth"
+	"puffer/pipeline"
+)
+
+func TestCheckpointFormatStamped(t *testing.T) {
+	d := synth.Generate(synth.Profiles[0], 6000, 1)
+	cp := pipeline.Capture(pipeline.StagePlace, d)
+	if cp.Format != pipeline.CheckpointFormat {
+		t.Fatalf("Capture stamped format %q, want %q", cp.Format, pipeline.CheckpointFormat)
+	}
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pipeline.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Format != pipeline.CheckpointFormat || loaded.Stage != pipeline.StagePlace {
+		t.Fatalf("round trip lost header: %+v", loaded)
+	}
+}
+
+func TestLoadCheckpointRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"truncated", `{"format":"puffer/checkpoint/v1","stage":"place","x":[1.0,`, "decode"},
+		{"not-json", "UCLA nodes 1.0", "decode"},
+		{"foreign-object", `{"hello":"world"}`, "format"},
+		{"unknown-format", `{"format":"puffer/checkpoint/v999","stage":"place"}`, "format"},
+		{"missing-stage", `{"format":"puffer/checkpoint/v1","x":[],"y":[],"pad_w":[]}`, "stage"},
+		{"ragged-slices", `{"format":"puffer/checkpoint/v1","stage":"place","x":[1],"y":[],"pad_w":[1]}`, "disagree"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".json")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := pipeline.LoadCheckpoint(path)
+			if err == nil {
+				t.Fatalf("LoadCheckpoint accepted %s content %q", tc.name, tc.content)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckpointSaveAtomic(t *testing.T) {
+	d := synth.Generate(synth.Profiles[0], 6000, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+
+	// Overwrite an existing checkpoint; the destination must always hold
+	// a complete document and no temp files may be left behind.
+	for _, stage := range []string{pipeline.StagePlace, pipeline.StageLegal} {
+		cp := pipeline.Capture(pipeline.StagePlace, d)
+		cp.Stage = stage
+		if err := cp.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := pipeline.LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Stage != cp.Stage {
+			t.Fatalf("read back stage %q, want %q", loaded.Stage, cp.Stage)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "cp.json" {
+			t.Errorf("leftover file %q after atomic saves", e.Name())
+		}
+	}
+}
+
+func TestSaveRejectsInvalidCheckpoint(t *testing.T) {
+	cp := &pipeline.Checkpoint{Format: pipeline.CheckpointFormat, Stage: "place",
+		X: []float64{1}, Y: []float64{}, PadW: []float64{1}}
+	if err := cp.Save(filepath.Join(t.TempDir(), "cp.json")); err == nil {
+		t.Fatal("Save accepted a checkpoint with ragged slices")
+	}
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the pufferd job service, as CI runs it:
+#
+#   1. build pufferd + pufferctl
+#   2. boot the daemon on an ephemeral port with a fresh spool
+#   3. submit a quick job via pufferctl and stream it to completion
+#   4. submit a slow job, SIGTERM the daemon mid-run
+#   5. assert the job parked at a checkpoint, restart the daemon
+#   6. assert the parked job was re-admitted, resumed, and finished
+#
+# The script is self-contained: everything lives under a temp dir that is
+# removed on exit, and any failure (or a daemon that dies early) fails it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+spool="$work/spool"
+daemon_pid=""
+
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+log() { echo "--- $*"; }
+
+log "build pufferd + pufferctl"
+go build -o "$work/pufferd" ./cmd/pufferd
+go build -o "$work/pufferctl" ./cmd/pufferctl
+
+start_daemon() {
+    rm -f "$work/addr"
+    "$work/pufferd" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+        -spool "$spool" -workers 1 -queue 8 >"$work/pufferd.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$work/addr" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null || { cat "$work/pufferd.log"; echo "daemon died during boot"; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$work/addr" ] || { echo "daemon never wrote its address"; exit 1; }
+    export PUFFERD_ADDR="http://$(cat "$work/addr")"
+    log "daemon up at $PUFFERD_ADDR (pid $daemon_pid)"
+}
+
+ctl() { "$work/pufferctl" "$@"; }
+
+start_daemon
+
+log "submit a quick job and stream it to completion"
+ctl submit -profile MEDIA_SUBSYS -scale 3000 -seed 5 -watch | tee "$work/watch.log"
+grep -q "state: done" "$work/watch.log" || { echo "stream never reached done"; exit 1; }
+grep -q "stage dp done" "$work/watch.log" || { echo "stream missing stage progress"; exit 1; }
+
+quick_id="$(awk '/^job /{print $2; exit}' "$work/watch.log")"
+log "quick job $quick_id: fetch result + artifact"
+ctl result "$quick_id" | tee "$work/result.json"
+grep -q '"hpwl"' "$work/result.json" || { echo "result carries no HPWL"; exit 1; }
+ctl artifact -o "$work/report.json" "$quick_id" report.json
+[ -s "$work/report.json" ] || { echo "empty report artifact"; exit 1; }
+
+log "submit a slow job and SIGTERM the daemon mid-run"
+slow_id="$(ctl submit -profile MEDIA_SUBSYS -scale 400 -seed 5 | awk '{print $2}')"
+for _ in $(seq 1 100); do
+    ctl status "$slow_id" | grep -q '"state": "running"' && break
+    sleep 0.1
+done
+ctl status "$slow_id" | grep -q '"state": "running"' || { echo "slow job never started"; exit 1; }
+sleep 0.5 # let the placement engine get some iterations in
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || true
+daemon_pid=""
+
+manifest="$spool/jobs/$slow_id/manifest.json"
+grep -q '"state": "parked"' "$manifest" || { cat "$manifest"; echo "job did not park on SIGTERM"; exit 1; }
+log "job $slow_id parked; restarting the daemon over the same spool"
+
+start_daemon
+grep -q "re-admitted 1 interrupted job" "$work/pufferd.log" || { cat "$work/pufferd.log"; echo "daemon did not re-admit the parked job"; exit 1; }
+
+log "wait for the resumed job to finish"
+ctl wait -timeout 180s "$slow_id"
+ctl status "$slow_id" | tee "$work/status.json"
+grep -q '"state": "done"' "$work/status.json" || { echo "resumed job not done"; exit 1; }
+grep -q '"attempts": 2' "$work/status.json" || { echo "resume did not count a second attempt"; exit 1; }
+grep -q '"hpwl"' "$work/status.json" || { echo "resumed job has no result"; exit 1; }
+
+log "serve e2e OK"

@@ -9,6 +9,7 @@ import (
 	"puffer/internal/explore"
 	"puffer/internal/feature"
 	"puffer/internal/netlist"
+	telemetry "puffer/internal/obs"
 	"puffer/internal/padding"
 	"puffer/internal/place"
 	"puffer/internal/router"
@@ -148,7 +149,17 @@ func ExploreStrategy(d *netlist.Design, placeCfg place.Config, budget int, seed 
 // strategies found so far are still returned, alongside an error wrapping
 // ErrCanceled.
 func ExploreStrategyCtx(ctx context.Context, d *netlist.Design, placeCfg place.Config, budget int, seed int64, logf func(string, ...any)) (final, best padding.Strategy, obs int, err error) {
+	return ExploreStrategyObs(ctx, d, placeCfg, budget, seed, logf, nil)
+}
+
+// ExploreStrategyObs is ExploreStrategyCtx with telemetry: per-trial
+// scores, the trial counter, and the best-score gauge land on rec's
+// registry (explore.trials / explore.trial.score / explore.best_score),
+// and the exploration opens a trace span. A job server streams rec's
+// samples to watchers while the exploration runs. rec may be nil.
+func ExploreStrategyObs(ctx context.Context, d *netlist.Design, placeCfg place.Config, budget int, seed int64, logf func(string, ...any), rec *telemetry.Recorder) (final, best padding.Strategy, obs int, err error) {
 	e := &explore.Explorer{
+		Obs:       rec,
 		Params:    StrategyParams(),
 		Eval:      StrategyObjective(d, placeCfg, router.DefaultConfig()),
 		TimeLimit: budget,
