@@ -96,6 +96,11 @@ func classifyMacros(d *netlist.Design) {
 }
 
 // parseAux extracts the per-extension filenames from the aux line.
+// Referenced names must be bare file names: every file a design pulls in
+// lives next to its aux. An aux is frequently untrusted input (pufferd
+// accepts uploaded designs), so a name with a path separator or ".." is
+// rejected rather than joined — it could otherwise read files outside
+// the design directory.
 func parseAux(path string) (map[string]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -108,9 +113,13 @@ func parseAux(path string) (map[string]string, error) {
 		}
 		for _, tok := range strings.Fields(line) {
 			ext := strings.TrimPrefix(filepath.Ext(tok), ".")
-			if ext != "" {
-				out[ext] = tok
+			if ext == "" {
+				continue
 			}
+			if strings.ContainsAny(tok, `/\`) || strings.Contains(tok, "..") {
+				return nil, fmt.Errorf("bookshelf: aux references %q: must be a bare file name next to the aux", tok)
+			}
+			out[ext] = tok
 		}
 	}
 	return out, nil

@@ -201,6 +201,36 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseAuxRejectsPathEscape(t *testing.T) {
+	// An aux is untrusted input (pufferd accepts uploads); a referenced
+	// name that is not a bare sibling file name must be rejected, never
+	// joined and read — otherwise a hostile aux can pull in files outside
+	// its design directory.
+	dir := t.TempDir()
+	secret := filepath.Join(dir, "secret.nodes")
+	if err := os.WriteFile(secret, []byte("UCLA nodes 1.0\nNumNodes : 1\nc1 1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "design")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range []string{
+		"../secret.nodes",
+		`..\secret.nodes`,
+		"/etc/passwd.nodes",
+		"a/../secret.nodes",
+	} {
+		aux := filepath.Join(sub, "esc.aux")
+		if err := os.WriteFile(aux, []byte("RowBasedPlacement : "+ref+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(aux); err == nil {
+			t.Errorf("aux referencing %q parsed without error", ref)
+		}
+	}
+}
+
 func TestWriteUnnamedEntities(t *testing.T) {
 	d := &netlist.Design{
 		Region: geom.RectWH(0, 0, 10, 3), RowHeight: 1, SiteWidth: 0.5,

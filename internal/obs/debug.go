@@ -38,9 +38,16 @@ func initExpvar() {
 			if len(named) == 0 {
 				// Single-run shape (cmd/puffer -debug-addr): the snapshot
 				// itself, as published since the first telemetry release.
+				// Snapshot is nil-safe, so a PublishExpvar-only process that
+				// has already unpublished everything renders an empty object.
 				return main.Snapshot()
 			}
-			out := map[string]any{"run": main.Snapshot()}
+			out := map[string]any{}
+			if main != nil {
+				// A primary registry only exists once NewDebugMux/StartDebug
+				// has run; a PublishExpvar-only embedder has just jobs.
+				out["run"] = main.Snapshot()
+			}
 			jobs := make(map[string]Snapshot, len(named))
 			for name, reg := range named {
 				jobs[name] = reg.Snapshot()

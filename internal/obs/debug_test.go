@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+// TestPublishExpvarWithoutPrimaryRegistry renders the process-wide
+// "puffer" expvar in the shape an embedder using only PublishExpvar sees:
+// named job registries with no primary registry ever handed to
+// NewDebugMux/StartDebug. Rendering must not panic, and the "run" key is
+// only present once a primary registry exists.
+func TestPublishExpvarWithoutPrimaryRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("job.events").Inc()
+	PublishExpvar("standalone", reg)
+	defer UnpublishExpvar("standalone")
+
+	v := expvar.Get("puffer")
+	if v == nil {
+		t.Fatal("puffer expvar not published")
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &out); err != nil {
+		t.Fatalf("puffer expvar is not JSON: %v", err)
+	}
+	jobs, ok := out["jobs"].(map[string]any)
+	if !ok {
+		t.Fatalf("puffer expvar missing jobs map: %v", out)
+	}
+	if _, ok := jobs["standalone"]; !ok {
+		t.Fatalf("published registry absent from jobs map: %v", jobs)
+	}
+	// The primary registry is process-global state other tests may have
+	// set; only assert the no-primary shape when none exists.
+	if expvarReg.Load() == nil {
+		if _, ok := out["run"]; ok {
+			t.Fatalf("run key present without a primary registry: %v", out)
+		}
+	}
+}

@@ -245,6 +245,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 				a.hub.Publish(Event{Type: "state", State: StateCanceled, Error: m.Error})
 				a.hub.Close()
 			}
+			// The job never reached a worker, so no runJob call will retire
+			// it; enroll the hub in retention here or it leaks forever.
+			s.retireJob(m.ID)
 			writeJSON(w, http.StatusOK, m)
 			return
 		}

@@ -157,7 +157,10 @@ func (s *JobSpec) AuxName() string {
 
 // JobResult is the final quality summary of a finished job, stored in the
 // manifest and served by the result endpoint. The full run report, trace,
-// and metric stream live next to it as downloadable artifacts.
+// and metric stream live next to it as downloadable artifacts. For a job
+// that was parked and resumed, the statistics are cumulative across
+// attempts: RuntimeMS sums every attempt, and the GP/padding counters come
+// from the attempt that actually ran those stages.
 type JobResult struct {
 	HPWL        float64 `json:"hpwl,omitempty"`
 	GPIters     int     `json:"gp_iters,omitempty"`

@@ -359,6 +359,14 @@ func TestCancelQueuedJob(t *testing.T) {
 	if m.State != StateCanceled || m.FinishedAt == nil {
 		t.Fatalf("after cancel: %+v", m)
 	}
+	// No worker ever ran this job, so cancel itself must retire the hub —
+	// otherwise repeated submit+cancel leaks runtime entries forever.
+	s.mu.Lock()
+	retired := len(s.finished) == 1 && s.finished[0] == id
+	s.mu.Unlock()
+	if !retired {
+		t.Fatal("canceled queued job not enrolled in hub retention")
+	}
 	// Cancel is idempotent-ish: a second cancel reports the conflict.
 	resp, err = http.Post(ts.URL+"/api/v1/jobs/"+id+"/cancel", "", nil)
 	if err != nil {
@@ -451,6 +459,9 @@ func TestDrainParksRunningJobAndRestartFinishes(t *testing.T) {
 	if m.StartedAt != nil || m.FinishedAt != nil {
 		t.Fatalf("parked manifest keeps timestamps: %+v", m)
 	}
+	if m.Result == nil || m.Result.RuntimeMS <= 0 {
+		t.Fatalf("parked manifest lacks the attempt's partial result: %+v", m.Result)
+	}
 	// Draining daemons stop admitting.
 	body, _ := json.Marshal(quickSpec())
 	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
@@ -474,6 +485,16 @@ func TestDrainParksRunningJobAndRestartFinishes(t *testing.T) {
 	}
 	if m2.Result == nil || m2.Result.HPWL <= 0 {
 		t.Fatalf("resumed job result %+v", m2.Result)
+	}
+	// Statistics are cumulative across attempts: the final runtime covers
+	// both the parked attempt and the resume, and GP work is never reported
+	// as zero just because the final attempt resumed past (or reran) it.
+	if m2.Result.RuntimeMS <= m.Result.RuntimeMS {
+		t.Fatalf("resumed runtime %vms not cumulative over parked attempt's %vms",
+			m2.Result.RuntimeMS, m.Result.RuntimeMS)
+	}
+	if m2.Result.GPIters == 0 {
+		t.Fatal("resumed job reports gp_iters=0")
 	}
 }
 
@@ -578,6 +599,53 @@ func TestResumeSurvivesCorruptCheckpoint(t *testing.T) {
 	got := waitState(t, s, m.ID, StateDone)
 	if got.Result == nil || got.Result.HPWL <= 0 {
 		t.Fatalf("job with corrupt checkpoint: %+v", got.Result)
+	}
+}
+
+func TestBuildResultMergesPriorAttempt(t *testing.T) {
+	p, err := synth.ProfileByName("MEDIA_SUBSYS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synth.Generate(p, 3000, 1)
+	spec := quickSpec()
+	cfg, err := placeConfig(&spec, nil, NewHub())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := pipeline.NewRunContext(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Result.Runtime = 2 * time.Second
+
+	// No prior attempt: the attempt's own numbers pass through.
+	out := buildResult(rc, nil)
+	if out.RuntimeMS != 2000 || out.GPIters != 0 {
+		t.Fatalf("fresh attempt result %+v", out)
+	}
+
+	// Resumed past GP and padding: this attempt's counters are zero, so the
+	// parked attempt's survive; runtime accumulates.
+	prior := &JobResult{GPIters: 42, GPOverflow: 0.07, PaddingRuns: 3, RuntimeMS: 1500}
+	out = buildResult(rc, prior)
+	if out.GPIters != 42 || out.GPOverflow != 0.07 || out.PaddingRuns != 3 {
+		t.Fatalf("merge dropped parked attempt's counters: %+v", out)
+	}
+	if out.RuntimeMS != 3500 {
+		t.Fatalf("merged runtime %vms, want 3500", out.RuntimeMS)
+	}
+
+	// Reran GP from scratch (no checkpoint landed before the park): the
+	// rerun's counters win, runtime still accumulates.
+	rc.Result.GP.Iters = 10
+	rc.Result.GP.Overflow = 0.5
+	out = buildResult(rc, prior)
+	if out.GPIters != 10 || out.GPOverflow != 0.5 {
+		t.Fatalf("rerun counters overridden by stale prior: %+v", out)
+	}
+	if out.RuntimeMS != 3500 {
+		t.Fatalf("merged runtime %vms, want 3500", out.RuntimeMS)
 	}
 }
 

@@ -304,7 +304,10 @@ func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *
 		runErr = pl.Run(ctx, rc)
 	}
 	if runErr != nil {
-		return nil, runErr
+		// A parked (or failed) attempt still reports what it did: the
+		// partial result lands in the manifest, and the next attempt merges
+		// it so a resumed job's statistics stay cumulative.
+		return buildResult(rc, m.Result), runErr
 	}
 
 	// Artifacts of a completed job: the structured run report and the
@@ -319,7 +322,17 @@ func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *
 	if _, werr := bookshelf.Write(d, s.spool.JobDir(id), "placed"); werr != nil {
 		s.cfg.Logf("serve: job %s: write placed design: %v", id, werr)
 	}
+	return buildResult(rc, m.Result), nil
+}
 
+// buildResult summarizes rc.Result as the manifest's JobResult, folding in
+// the spooled result of prior interrupted attempts. pipeline.Resume replays
+// positions/padding/weights but not run statistics, so without the merge a
+// parked-then-resumed job would report gp_iters=0 and only the final
+// attempt's runtime. Runtime accumulates across attempts; GP and padding
+// counters are taken from whichever attempt actually ran those stages (a
+// resume past a completed stage leaves this attempt's counter at zero).
+func buildResult(rc *pipeline.RunContext, prior *JobResult) *JobResult {
 	res := rc.Result
 	out := &JobResult{
 		HPWL:        res.HPWL,
@@ -331,7 +344,16 @@ func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *
 	if rr := res.Route; rr != nil {
 		out.HOF, out.VOF, out.RoutedWL = rr.HOF, rr.VOF, rr.WL
 	}
-	return out, nil
+	if prior != nil {
+		out.RuntimeMS += prior.RuntimeMS
+		if out.GPIters == 0 {
+			out.GPIters, out.GPOverflow = prior.GPIters, prior.GPOverflow
+		}
+		if out.PaddingRuns == 0 {
+			out.PaddingRuns = prior.PaddingRuns
+		}
+	}
+	return out
 }
 
 // execExplore runs a strategy-exploration job. Exploration carries no
