@@ -19,6 +19,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,6 +55,8 @@ func main() {
 		repOut   = flag.String("report", "", "write the structured run report (JSON, consumed by cmd/diag -report) to this file")
 		htmlOut  = flag.String("html", "", "write an HTML placement/congestion report to this file")
 		debug    = flag.String("debug-addr", "", "serve pprof/expvar/Prometheus metrics on this address while the flow runs (e.g. :6060)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof); see also -debug-addr for live profiles")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after GC) to this file at exit")
 		metrics  = flag.String("metrics", "", "stream metric samples to this file as they are observed (.csv extension selects CSV, anything else JSON lines)")
 		strategy = flag.String("strategy", "", "JSON strategy file from cmd/explore -out")
 		timeout  = flag.Duration("timeout", 0, "abort the PUFFER flow after this duration (0 = none)")
@@ -135,6 +139,41 @@ func main() {
 		}
 		defer ds.Close()
 		fmt.Printf("debug endpoint: http://%s/ (pprof, /debug/vars, /metrics)\n", ds.Addr())
+	}
+
+	// Whole-run profiles (stdlib runtime/pprof). -debug-addr serves live
+	// profiles over HTTP instead; these flags capture a run end to end
+	// without a second terminal. Profiles are written when the flow exits
+	// normally.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			fmt.Printf("heap profile written to %s\n", *memProf)
+		}()
 	}
 
 	ctx := context.Background()

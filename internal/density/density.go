@@ -8,6 +8,32 @@
 // (Neumann boundary: no force pushes cells across the chip edge). The
 // density penalty D(x, y) of Eq. 3 is the total potential energy Σ qᵢψ, and
 // its gradient with respect to a cell position is -qᵢ·E at the cell.
+//
+// # Parallelism and determinism
+//
+// The grid is the placement engine's per-iteration hot path, so the heavy
+// operations — rasterization (DepositRects), the spectral solve (Solve),
+// and the overflow reduction (Overflow) — run across SetWorkers workers.
+// All of them are bit-deterministic regardless of the worker count:
+//
+//   - DepositRects shards the OUTPUT (bands of bin rows): each band owner
+//     scans the rectangle list in order and accumulates only its own rows,
+//     so every bin receives its contributions in the same rectangle order a
+//     serial sweep would use — identical bits for any band count. This
+//     replaces the per-worker-accumulator-plus-merge design: it needs no
+//     extra grids, no zeroing, no merge pass, and is worker-count
+//     independent rather than merely fixed-worker-count reproducible.
+//   - Solve batches independent 1-D row/column transforms (each writes a
+//     disjoint output range) over per-worker fft.Spectral scratch cloned
+//     from one precomputed plan, so scheduling cannot change any value.
+//   - Overflow reduces over a FIXED shard count derived from the grid size
+//     (never from the worker count) and sums the per-shard partials in
+//     shard order.
+//
+// Once constructed (and after the first SetWorkers), the steady-state
+// DepositRects → Solve → ForceOnRect → Overflow cycle performs no heap
+// allocation with one worker, and only the O(workers) goroutine dispatch
+// inside internal/par otherwise.
 package density
 
 import (
@@ -16,7 +42,27 @@ import (
 
 	"puffer/internal/fft"
 	"puffer/internal/geom"
+	"puffer/internal/par"
 )
+
+// maxGridWorkers bounds the per-worker transform scratch (two spectral
+// clones plus three vectors per worker), so many-core hosts do not trade
+// memory for shards the row/column batches cannot use anyway.
+const maxGridWorkers = 16
+
+// ovfBinsPerShard sizes the fixed overflow-reduction shards. The shard
+// count depends only on the grid size, so the partial-sum structure — and
+// therefore the result, bit for bit — is identical for every worker count.
+const ovfBinsPerShard = 4096
+
+// solveScratch is one worker's private transform state: spectral clones
+// sharing the grid's precomputed FFT plans, plus gather/scatter vectors.
+type solveScratch struct {
+	sx, sy *fft.Spectral
+	row    []float64 // length M, x-direction staging
+	col    []float64 // length N, y-direction gather
+	colOut []float64 // length N, y-direction result
+}
 
 // Grid is the electrostatic bin grid. Bins are indexed [j*M+i] with i the
 // x (column) index and j the y (row) index.
@@ -37,15 +83,41 @@ type Grid struct {
 	coef           []float64
 	bufPsi, bufEx  []float64
 	bufEy          []float64
-	rowIn, rowOut  []float64
-	colIn, colOut  []float64
-	invFreqSq      []float64 // 1/(ku²+kv²) table, flat [v*M+u]
 	fixedRho       []float64 // baseline charge from fixed cells
 	hasFixed       bool
 	totalFixedArea float64
+
+	// Precomputed frequency-response tables, flat [v*M+u], with the
+	// 4/(M·N) analysis normalization and the u=0 / v=0 halving folded in:
+	// ψ̂ = coef·psiTab, Êx = coef·exTab, Êy = coef·eyTab.
+	psiTab, exTab, eyTab []float64
+
+	// parallel execution state
+	workers    int
+	scratch    []solveScratch
+	ovfShards  int
+	ovfPartial []float64
+	ovfTarget  float64
+	depRects   []geom.Rect // operand of the in-flight DepositRects
+	synCoef    []float64   // operands of the in-flight synthesize
+	synOut     []float64
+	synSinX    bool
+	synSinY    bool
+
+	// Stage bodies are bound once here so the dispatcher can hand them to
+	// par.ForShards (or run them inline) without constructing a closure —
+	// and therefore without allocating — on every Solve/Deposit call.
+	stageFwdRows func(w, lo, hi int)
+	stageFwdCols func(w, lo, hi int)
+	stageFreq    func(w, lo, hi int)
+	stageSynCols func(w, lo, hi int)
+	stageSynRows func(w, lo, hi int)
+	stageDeposit func(w, lo, hi int)
+	stageOvf     func(s int)
 }
 
 // NewGrid creates an M×N grid over region. M and N must be powers of two.
+// The grid starts serial; call SetWorkers to enable data parallelism.
 func NewGrid(region geom.Rect, m, n int) *Grid {
 	if m <= 0 || m&(m-1) != 0 || n <= 0 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("density: grid %dx%d must be powers of two", m, n))
@@ -67,27 +139,214 @@ func NewGrid(region geom.Rect, m, n int) *Grid {
 	g.bufEx = make([]float64, size)
 	g.bufEy = make([]float64, size)
 	g.fixedRho = make([]float64, size)
-	maxDim := m
-	if n > maxDim {
-		maxDim = n
-	}
-	g.rowIn = make([]float64, maxDim)
-	g.rowOut = make([]float64, maxDim)
-	g.colIn = make([]float64, maxDim)
-	g.colOut = make([]float64, maxDim)
 
-	g.invFreqSq = make([]float64, size)
+	g.psiTab = make([]float64, size)
+	g.exTab = make([]float64, size)
+	g.eyTab = make([]float64, size)
+	norm := 4 / (float64(m) * float64(n))
 	for v := 0; v < n; v++ {
 		kv := g.sy.Freq(v) / g.BinH
 		for u := 0; u < m; u++ {
 			ku := g.sx.Freq(u) / g.BinW
 			k2 := ku*ku + kv*kv
-			if k2 > 0 {
-				g.invFreqSq[v*m+u] = 1 / k2
+			if k2 <= 0 {
+				continue // DC mode: neutralizing background, no force
+			}
+			c := norm
+			if u == 0 {
+				c /= 2
+			}
+			if v == 0 {
+				c /= 2
+			}
+			idx := v*m + u
+			a := c / k2
+			g.psiTab[idx] = a
+			g.exTab[idx] = a * ku
+			g.eyTab[idx] = a * kv
+		}
+	}
+
+	g.workers = 1
+	g.scratch = []solveScratch{{
+		sx:  g.sx,
+		sy:  g.sy,
+		row: make([]float64, m), col: make([]float64, n), colOut: make([]float64, n),
+	}}
+	g.ovfShards = size / ovfBinsPerShard
+	if g.ovfShards < 1 {
+		g.ovfShards = 1
+	}
+	if g.ovfShards > maxGridWorkers {
+		g.ovfShards = maxGridWorkers
+	}
+	g.ovfPartial = make([]float64, g.ovfShards)
+	g.bindStages()
+	return g
+}
+
+// SetWorkers caps the grid's data parallelism (0 or negative selects
+// GOMAXPROCS, clamped to an internal bound) and allocates the per-worker
+// transform scratch up front so later Solve/DepositRects calls stay
+// allocation-free. Results never depend on the worker count.
+func (g *Grid) SetWorkers(n int) {
+	w := par.Workers(n)
+	if w > maxGridWorkers {
+		w = maxGridWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	g.workers = w
+	for len(g.scratch) < w {
+		g.scratch = append(g.scratch, solveScratch{
+			sx:  g.sx.Clone(),
+			sy:  g.sy.Clone(),
+			row: make([]float64, g.M), col: make([]float64, g.N), colOut: make([]float64, g.N),
+		})
+	}
+}
+
+// Workers reports the resolved worker cap.
+func (g *Grid) Workers() int { return g.workers }
+
+// dispatch runs a pre-bound stage over [0, n): inline with one worker,
+// sharded across the worker pool otherwise. Stage bodies receive the
+// executor index w so they can use g.scratch[w].
+func (g *Grid) dispatch(n int, stage func(w, lo, hi int)) {
+	if g.workers <= 1 || n < 2 {
+		stage(0, 0, n)
+		return
+	}
+	par.ForShards(g.workers, n, stage)
+}
+
+// bindStages constructs the worker bodies once, capturing g, so the hot
+// path never builds a closure per call.
+func (g *Grid) bindStages() {
+	// Forward analysis along x: one independent DCT per bin row.
+	g.stageFwdRows = func(w, lo, hi int) {
+		s := &g.scratch[w]
+		m := g.M
+		for j := lo; j < hi; j++ {
+			s.sx.CosCoeffs(g.Rho[j*m:(j+1)*m], g.coef[j*m:(j+1)*m])
+		}
+	}
+	// Forward analysis along y: one independent DCT per coefficient column.
+	g.stageFwdCols = func(w, lo, hi int) {
+		s := &g.scratch[w]
+		m, n := g.M, g.N
+		for u := lo; u < hi; u++ {
+			for j := 0; j < n; j++ {
+				s.col[j] = g.coef[j*m+u]
+			}
+			s.sy.CosCoeffs(s.col, s.colOut)
+			for v := 0; v < n; v++ {
+				g.coef[v*m+u] = s.colOut[v]
 			}
 		}
 	}
-	return g
+	// Frequency-domain solve: ψ̂ = ρ̂/k², Êx = ρ̂·ku/k², Êy = ρ̂·kv/k²,
+	// via the precomputed response tables; disjoint per coefficient row.
+	g.stageFreq = func(w, lo, hi int) {
+		m := g.M
+		for v := lo; v < hi; v++ {
+			for idx := v * m; idx < (v+1)*m; idx++ {
+				c := g.coef[idx]
+				g.bufPsi[idx] = c * g.psiTab[idx]
+				g.bufEx[idx] = c * g.exTab[idx]
+				g.bufEy[idx] = c * g.eyTab[idx]
+			}
+		}
+	}
+	// Synthesis along y (columns) into the output grid.
+	g.stageSynCols = func(w, lo, hi int) {
+		s := &g.scratch[w]
+		m, n := g.M, g.N
+		coef, out := g.synCoef, g.synOut
+		for u := lo; u < hi; u++ {
+			for v := 0; v < n; v++ {
+				s.col[v] = coef[v*m+u]
+			}
+			if g.synSinY {
+				s.sy.EvalSin(s.col, s.colOut)
+			} else {
+				s.sy.EvalCos(s.col, s.colOut)
+			}
+			for j := 0; j < n; j++ {
+				out[j*m+u] = s.colOut[j]
+			}
+		}
+	}
+	// Synthesis along x (rows), in place row by row.
+	g.stageSynRows = func(w, lo, hi int) {
+		s := &g.scratch[w]
+		m := g.M
+		out := g.synOut
+		for j := lo; j < hi; j++ {
+			row := out[j*m : (j+1)*m]
+			copy(s.row, row)
+			if g.synSinX {
+				s.sx.EvalSin(s.row, row)
+			} else {
+				s.sx.EvalCos(s.row, row)
+			}
+		}
+	}
+	// Banded rasterization: the executor owns bin rows [lo, hi), restores
+	// the fixed baseline there, then scans the rectangle list in order and
+	// deposits only the rows it owns. Per-bin addition order equals the
+	// serial rectangle order for any band partition.
+	g.stageDeposit = func(w, lo, hi int) {
+		m := g.M
+		copy(g.Rho[lo*m:hi*m], g.fixedRho[lo*m:hi*m])
+		invArea := 1 / (g.BinW * g.BinH)
+		for _, r := range g.depRects {
+			rc := r.Intersect(g.Region)
+			if rc.Empty() {
+				continue
+			}
+			i0, i1, j0, j1 := g.binRange(rc)
+			if j0 < lo {
+				j0 = lo
+			}
+			if j1 > hi {
+				j1 = hi
+			}
+			for j := j0; j < j1; j++ {
+				y0 := g.Region.Lo.Y + float64(j)*g.BinH
+				oy := geom.Interval{Lo: y0, Hi: y0 + g.BinH}.Overlap(geom.Interval{Lo: rc.Lo.Y, Hi: rc.Hi.Y})
+				if oy <= 0 {
+					continue
+				}
+				row := g.Rho[j*m:]
+				for i := i0; i < i1; i++ {
+					x0 := g.Region.Lo.X + float64(i)*g.BinW
+					ox := geom.Interval{Lo: x0, Hi: x0 + g.BinW}.Overlap(geom.Interval{Lo: rc.Lo.X, Hi: rc.Hi.X})
+					if ox > 0 {
+						row[i] += ox * oy * invArea
+					}
+				}
+			}
+		}
+	}
+	// Fixed-shard overflow partial: shard s always owns the same bin range.
+	g.stageOvf = func(s int) {
+		lo, hi := par.ShardRange(s, g.ovfShards, len(g.Rho))
+		target := g.ovfTarget
+		over := 0.0
+		for i := lo; i < hi; i++ {
+			free := target - g.fixedRho[i]
+			if free < 0 {
+				free = 0
+			}
+			movable := g.Rho[i] - g.fixedRho[i]
+			if movable > free {
+				over += movable - free
+			}
+		}
+		g.ovfPartial[s] = over
+	}
 }
 
 // Index returns the flat bin index of column i, row j.
@@ -160,54 +419,29 @@ func (g *Grid) addRectTo(dst []float64, r geom.Rect, scale float64) {
 	}
 }
 
+// DepositRects replaces the movable charge with the given unit-scale
+// rectangles in one pass: Rho = fixedRho + Σ rects. It is the parallel
+// equivalent of Reset followed by AddRect per rectangle, sharded by output
+// bin rows, and produces bit-identical charge for every worker count. The
+// rects slice is only read during the call; callers may reuse it.
+func (g *Grid) DepositRects(rects []geom.Rect) {
+	g.depRects = rects
+	g.dispatch(g.N, g.stageDeposit)
+	g.depRects = nil
+}
+
 // Solve computes the potential and field from the current charge. The DC
 // component of the charge is removed first (the u=v=0 mode has no force and
 // corresponds to the neutralizing background of the electrostatic analogy).
+// The row/column transform batches run across the SetWorkers pool with
+// per-worker spectral scratch; every batch writes a disjoint output range,
+// so the solution is bit-identical for any worker count.
 func (g *Grid) Solve() {
-	m, n := g.M, g.N
-
 	// Forward analysis: cosine coefficients along x for each row, then
-	// along y for each column, normalized so that EvalCos reconstructs.
-	for j := 0; j < n; j++ {
-		copy(g.rowIn[:m], g.Rho[j*m:(j+1)*m])
-		g.sx.CosCoeffs(g.rowIn[:m], g.rowOut[:m])
-		copy(g.coef[j*m:(j+1)*m], g.rowOut[:m])
-	}
-	for u := 0; u < m; u++ {
-		for j := 0; j < n; j++ {
-			g.colIn[j] = g.coef[j*m+u]
-		}
-		g.sy.CosCoeffs(g.colIn[:n], g.colOut[:n])
-		for v := 0; v < n; v++ {
-			g.coef[v*m+u] = g.colOut[v]
-		}
-	}
-	norm := 4 / (float64(m) * float64(n))
-	for v := 0; v < n; v++ {
-		for u := 0; u < m; u++ {
-			c := g.coef[v*m+u] * norm
-			if u == 0 {
-				c /= 2
-			}
-			if v == 0 {
-				c /= 2
-			}
-			g.coef[v*m+u] = c
-		}
-	}
-
-	// Frequency-domain solve: ψ̂ = ρ̂/k², Êx = ρ̂·ku/k², Êy = ρ̂·kv/k².
-	for v := 0; v < n; v++ {
-		kv := g.sy.Freq(v) / g.BinH
-		for u := 0; u < m; u++ {
-			ku := g.sx.Freq(u) / g.BinW
-			idx := v*m + u
-			a := g.coef[idx] * g.invFreqSq[idx]
-			g.bufPsi[idx] = a
-			g.bufEx[idx] = a * ku
-			g.bufEy[idx] = a * kv
-		}
-	}
+	// along y for each column, then the per-mode frequency response.
+	g.dispatch(g.N, g.stageFwdRows)
+	g.dispatch(g.M, g.stageFwdCols)
+	g.dispatch(g.N, g.stageFreq)
 
 	// Synthesis. ψ uses cos·cos; Ex = -∂ψ/∂x uses sin in x (the derivative
 	// of cos(ku·x) is -ku·sin(ku·x), and E = -∇ψ cancels the sign);
@@ -219,31 +453,10 @@ func (g *Grid) Solve() {
 
 // synthesize evaluates the 2-D series with sine evaluation in x and/or y.
 func (g *Grid) synthesize(coef, out []float64, sinX, sinY bool) {
-	m, n := g.M, g.N
-	// Evaluate along y (columns) first.
-	for u := 0; u < m; u++ {
-		for v := 0; v < n; v++ {
-			g.colIn[v] = coef[v*m+u]
-		}
-		if sinY {
-			g.sy.EvalSin(g.colIn[:n], g.colOut[:n])
-		} else {
-			g.sy.EvalCos(g.colIn[:n], g.colOut[:n])
-		}
-		for j := 0; j < n; j++ {
-			out[j*m+u] = g.colOut[j]
-		}
-	}
-	// Then along x (rows), in place row by row.
-	for j := 0; j < n; j++ {
-		copy(g.rowIn[:m], out[j*m:(j+1)*m])
-		if sinX {
-			g.sx.EvalSin(g.rowIn[:m], g.rowOut[:m])
-		} else {
-			g.sx.EvalCos(g.rowIn[:m], g.rowOut[:m])
-		}
-		copy(out[j*m:(j+1)*m], g.rowOut[:m])
-	}
+	g.synCoef, g.synOut, g.synSinX, g.synSinY = coef, out, sinX, sinY
+	g.dispatch(g.M, g.stageSynCols)
+	g.dispatch(g.N, g.stageSynRows)
+	g.synCoef, g.synOut = nil, nil
 }
 
 // Energy returns the total potential energy Σ ρ·ψ·binArea (Eq. 3 up to the
@@ -260,7 +473,9 @@ func (g *Grid) Energy() float64 {
 // ForceOnRect returns the overlap-weighted electric force on a rectangle of
 // charge (the negative gradient of the energy with respect to the
 // rectangle's position). The returned vector is Σ overlapArea·E over the
-// bins the rectangle covers.
+// bins the rectangle covers. It only reads the solved field, so any number
+// of goroutines may call it concurrently (the placement engine's force
+// sweep does).
 func (g *Grid) ForceOnRect(r geom.Rect) (fx, fy float64) {
 	rc := r.Intersect(g.Region)
 	if rc.Empty() {
@@ -295,21 +510,23 @@ func (g *Grid) ForceOnRect(r geom.Rect) (fx, fy float64) {
 // Overflow returns the density overflow ratio: the summed movable charge
 // area exceeding target density in each bin, divided by the total movable
 // area. This is the τ trigger metric of Sec. III-B3 in normalized form.
+// The reduction runs over a fixed shard count derived from the grid size,
+// so the floating-point result is identical for every worker count.
 func (g *Grid) Overflow(target, totalMovableArea float64) float64 {
 	if totalMovableArea <= 0 {
 		return 0
 	}
-	binArea := g.BinW * g.BinH
-	over := 0.0
-	for i, r := range g.Rho {
-		free := target - g.fixedRho[i]
-		if free < 0 {
-			free = 0
+	g.ovfTarget = target
+	if g.workers <= 1 || g.ovfShards <= 1 {
+		for s := 0; s < g.ovfShards; s++ {
+			g.stageOvf(s)
 		}
-		movable := r - g.fixedRho[i]
-		if movable > free {
-			over += (movable - free) * binArea
-		}
+	} else {
+		par.ForN(g.workers, g.ovfShards, g.stageOvf)
 	}
-	return over / totalMovableArea
+	over := 0.0
+	for _, p := range g.ovfPartial {
+		over += p
+	}
+	return over * g.BinW * g.BinH / totalMovableArea
 }

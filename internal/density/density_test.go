@@ -2,6 +2,7 @@ package density
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"puffer/internal/geom"
@@ -241,5 +242,113 @@ func BenchmarkSolve128(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g.Solve()
+	}
+}
+
+// rectSoup builds a deterministic set of rectangles spread over (and
+// slightly past) the region, exercising clipping and multi-bin overlap.
+func rectSoup(n int, region geom.Rect) []geom.Rect {
+	rects := make([]geom.Rect, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range rects {
+		w := 0.5 + 6*rng.Float64()
+		h := 0.5 + 6*rng.Float64()
+		x := region.Lo.X - 2 + (region.W()+4)*rng.Float64()
+		y := region.Lo.Y - 2 + (region.H()+4)*rng.Float64()
+		rects[i] = geom.RectWH(x, y, w, h)
+	}
+	return rects
+}
+
+// TestDepositRectsMatchesSerialAddRect proves the banded parallel deposit
+// is bit-identical to Reset + AddRect-in-order, for several worker counts.
+func TestDepositRectsMatchesSerialAddRect(t *testing.T) {
+	region := geom.RectWH(0, 0, 64, 64)
+	rects := rectSoup(300, region)
+
+	ref := NewGrid(region, 32, 32)
+	ref.AddFixedRect(geom.RectWH(10, 10, 8, 8), 1)
+	ref.Reset()
+	for _, r := range rects {
+		ref.AddRect(r, 1)
+	}
+
+	for _, workers := range []int{1, 2, 3, 4} {
+		g := NewGrid(region, 32, 32)
+		g.AddFixedRect(geom.RectWH(10, 10, 8, 8), 1)
+		g.SetWorkers(workers)
+		g.DepositRects(rects)
+		for i := range g.Rho {
+			if g.Rho[i] != ref.Rho[i] {
+				t.Fatalf("workers=%d: Rho[%d] = %v, want %v (bit-exact)", workers, i, g.Rho[i], ref.Rho[i])
+			}
+		}
+	}
+}
+
+// TestSolveParallelMatchesSerial proves the sharded transform batches give
+// bit-identical potential and field for any worker count.
+func TestSolveParallelMatchesSerial(t *testing.T) {
+	region := geom.RectWH(0, 0, 64, 64)
+	rects := rectSoup(200, region)
+
+	ref := NewGrid(region, 32, 32)
+	ref.DepositRects(rects)
+	ref.Solve()
+
+	for _, workers := range []int{2, 3, 4, 16} {
+		g := NewGrid(region, 32, 32)
+		g.SetWorkers(workers)
+		g.DepositRects(rects)
+		g.Solve()
+		for i := range g.Psi {
+			if g.Psi[i] != ref.Psi[i] || g.Ex[i] != ref.Ex[i] || g.Ey[i] != ref.Ey[i] {
+				t.Fatalf("workers=%d: bin %d solve mismatch psi %v/%v ex %v/%v ey %v/%v",
+					workers, i, g.Psi[i], ref.Psi[i], g.Ex[i], ref.Ex[i], g.Ey[i], ref.Ey[i])
+			}
+		}
+	}
+}
+
+// TestOverflowParallelMatchesSerial uses a grid large enough for multiple
+// fixed reduction shards and checks the ratio is bit-identical across
+// worker counts.
+func TestOverflowParallelMatchesSerial(t *testing.T) {
+	region := geom.RectWH(0, 0, 256, 256)
+	rects := rectSoup(500, region)
+
+	ref := NewGrid(region, 128, 128)
+	if ref.ovfShards < 2 {
+		t.Fatalf("test wants multiple overflow shards, got %d", ref.ovfShards)
+	}
+	ref.DepositRects(rects)
+	want := ref.Overflow(0.7, 1234.5)
+
+	for _, workers := range []int{2, 4, 16} {
+		g := NewGrid(region, 128, 128)
+		g.SetWorkers(workers)
+		g.DepositRects(rects)
+		if got := g.Overflow(0.7, 1234.5); got != want {
+			t.Fatalf("workers=%d: overflow = %v, want %v (bit-exact)", workers, got, want)
+		}
+	}
+}
+
+// TestGridSteadyStateZeroAlloc guards the serial hot path: once the grid is
+// built, deposit + solve + force + overflow allocate nothing.
+func TestGridSteadyStateZeroAlloc(t *testing.T) {
+	region := geom.RectWH(0, 0, 64, 64)
+	rects := rectSoup(64, region)
+	g := NewGrid(region, 32, 32)
+	g.DepositRects(rects) // warm up
+	g.Solve()
+
+	if n := testing.AllocsPerRun(10, func() {
+		g.DepositRects(rects)
+		g.Solve()
+		g.ForceOnRect(rects[0])
+		g.Overflow(0.8, 100)
+	}); n != 0 {
+		t.Errorf("serial steady-state iteration allocates %v per run, want 0", n)
 	}
 }

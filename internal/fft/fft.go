@@ -20,9 +20,12 @@ import (
 )
 
 // Plan holds precomputed twiddle factors and the bit-reversal permutation
-// for complex FFTs of a fixed power-of-two size. A Plan is cheap to reuse
-// and safe for sequential reuse; it is not safe for concurrent use because
-// transforms share no scratch but callers often share data buffers.
+// for complex FFTs of a fixed power-of-two size. After construction a Plan
+// is immutable — Forward/Inverse only read it and work in place on the
+// caller's buffer — so one Plan may be shared by any number of concurrent
+// transforms as long as each goroutine owns its data buffer. Spectral
+// wraps a Plan together with per-instance scratch; use Spectral.Clone to
+// fan one precomputed Plan out across workers.
 type Plan struct {
 	n       int
 	logn    int
@@ -97,6 +100,12 @@ func (p *Plan) Inverse(x []complex128) {
 // Spectral bundles the three real transforms used by the Poisson solver for
 // one dimension of size M (a power of two). Internally every transform is a
 // complex FFT of size 2M over the mirror extension of the input.
+//
+// A Spectral carries private scratch (buf), so a single instance is not
+// safe for concurrent use; Clone returns additional instances that share
+// the immutable plan and phase tables but own fresh scratch, which is how
+// the density solver batches row/column transforms across workers without
+// recomputing twiddle factors per worker.
 type Spectral struct {
 	m    int
 	plan *Plan
@@ -119,6 +128,19 @@ func NewSpectral(m int) *Spectral {
 
 // Size returns M.
 func (s *Spectral) Size() int { return s.m }
+
+// Clone returns a new Spectral sharing s's precomputed plan and phase
+// table (both immutable after construction) with its own scratch buffer,
+// so the clone and the original can run transforms concurrently. Cloning
+// costs one 2M-complex allocation and no trigonometry.
+func (s *Spectral) Clone() *Spectral {
+	return &Spectral{
+		m:     s.m,
+		plan:  s.plan,
+		buf:   make([]complex128, 2*s.m),
+		phase: s.phase,
+	}
+}
 
 // CosCoeffs computes the unnormalized DCT-II analysis
 //

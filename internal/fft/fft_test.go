@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -243,5 +244,80 @@ func BenchmarkSpectral256(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.CosCoeffs(x, out)
+	}
+}
+
+// TestCloneSharesPlanMatchesOriginal checks a clone produces bit-identical
+// transforms while running concurrently with the original on the shared
+// plan (go test -race guards the immutability claim).
+func TestCloneSharesPlanMatchesOriginal(t *testing.T) {
+	const m = 64
+	s := NewSpectral(m)
+	c := s.Clone()
+	if c.plan != s.plan {
+		t.Fatal("clone did not share the plan")
+	}
+	if &c.buf[0] == &s.buf[0] {
+		t.Fatal("clone shares scratch with the original")
+	}
+
+	in := make([]float64, m)
+	for i := range in {
+		in[i] = math.Sin(0.1*float64(i)) + 0.3*float64(i%5)
+	}
+	want := make([]float64, m)
+	s.CosCoeffs(in, want)
+
+	var wg sync.WaitGroup
+	outs := make([][]float64, 8)
+	for k := range outs {
+		outs[k] = make([]float64, m)
+		sp := s
+		if k%2 == 1 {
+			sp = s.Clone()
+		}
+		wg.Add(1)
+		go func(k int, sp *Spectral) {
+			defer wg.Done()
+			if k%2 == 0 {
+				return // originals share one scratch: only clones run concurrently
+			}
+			sp.CosCoeffs(in, outs[k])
+		}(k, sp)
+	}
+	wg.Wait()
+	got := make([]float64, m)
+	c.CosCoeffs(in, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clone CosCoeffs[%d] = %v, original %v", i, got[i], want[i])
+		}
+	}
+	for k := 1; k < len(outs); k += 2 {
+		for i := range want {
+			if outs[k][i] != want[i] {
+				t.Fatalf("concurrent clone %d diverged at %d", k, i)
+			}
+		}
+	}
+}
+
+// TestSpectralZeroAllocSteadyState proves the three solver primitives do
+// not allocate per call once constructed.
+func TestSpectralZeroAllocSteadyState(t *testing.T) {
+	const m = 32
+	s := NewSpectral(m)
+	in := make([]float64, m)
+	out := make([]float64, m)
+	for i := range in {
+		in[i] = float64(i%7) - 3
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		s.CosCoeffs(in, out)
+		s.EvalCos(in, out)
+		s.EvalSin(in, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("spectral primitives allocate %v per call set, want 0", allocs)
 	}
 }

@@ -3,14 +3,33 @@
 // ePlace family of placers (paper Sec. II-B, [14]). The optimizer is
 // generic over a gradient oracle so the placement engine can swap
 // objectives (wirelength-only warmup, wirelength + λ·density, baselines).
+//
+// The per-iteration vector work (candidate updates, norm reductions) runs
+// across SetWorkers workers. Candidate updates write disjoint index ranges
+// and the norm reductions use a fixed shard count derived from the vector
+// length, so every result is bit-identical for any worker count. After
+// construction the step performs no heap allocation (beyond whatever the
+// eval oracle and goroutine dispatch do).
 package nesterov
 
-import "math"
+import (
+	"math"
+
+	"puffer/internal/par"
+)
 
 // EvalFunc computes the gradient of the objective at x, writing it into
 // grad (same length as x). It is called at reference points, so
 // implementations must tolerate arbitrary x within the feasible box.
 type EvalFunc func(x, grad []float64)
+
+// maxOptWorkers bounds the optimizer's worker fan-out; vector updates are
+// memory-bound, so more shards only add dispatch overhead.
+const maxOptWorkers = 16
+
+// ndElemsPerShard sizes the fixed norm-reduction shards; the count depends
+// only on the vector length, never the worker count.
+const ndElemsPerShard = 8192
 
 // Optimizer carries the state of the accelerated method: the major
 // solution u, the reference solution v, and the momentum parameter a.
@@ -34,9 +53,21 @@ type Optimizer struct {
 
 	// step scratch buffers
 	uNext, vNext, gNext []float64
+
+	// parallel execution state; stages are bound once in New so the hot
+	// path never constructs a closure.
+	workers   int
+	ndA, ndB  []float64 // operands of the in-flight norm reduction
+	ndPartial []float64
+	stepAlpha float64
+	stepCoef  float64
+	stageND   func(s int)
+	stageU    func(w, lo, hi int)
+	stageV    func(w, lo, hi int)
 }
 
-// New creates an optimizer starting at x0 with initial step alpha0.
+// New creates an optimizer starting at x0 with initial step alpha0. The
+// optimizer starts serial; call SetWorkers to parallelize the vector work.
 func New(x0 []float64, eval EvalFunc, alpha0 float64) *Optimizer {
 	n := len(x0)
 	o := &Optimizer{
@@ -54,11 +85,56 @@ func New(x0 []float64, eval EvalFunc, alpha0 float64) *Optimizer {
 		uNext:        make([]float64, n),
 		vNext:        make([]float64, n),
 		gNext:        make([]float64, n),
+		workers:      1,
+	}
+	shards := n / ndElemsPerShard
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxOptWorkers {
+		shards = maxOptWorkers
+	}
+	o.ndPartial = make([]float64, shards)
+	o.stageND = func(s int) {
+		lo, hi := par.ShardRange(s, len(o.ndPartial), len(o.u))
+		a, b := o.ndA, o.ndB
+		t := 0.0
+		for i := lo; i < hi; i++ {
+			d := a[i] - b[i]
+			t += d * d
+		}
+		o.ndPartial[s] = t
+	}
+	o.stageU = func(w, lo, hi int) {
+		alpha := o.stepAlpha
+		for i := lo; i < hi; i++ {
+			o.uNext[i] = o.v[i] - alpha*o.g[i]
+		}
+	}
+	o.stageV = func(w, lo, hi int) {
+		coef := o.stepCoef
+		for i := lo; i < hi; i++ {
+			o.vNext[i] = o.uNext[i] + coef*(o.uNext[i]-o.u[i])
+		}
 	}
 	copy(o.uPrev, x0)
 	copy(o.vPrev, x0)
 	o.eval(o.v, o.gPrev)
 	return o
+}
+
+// SetWorkers caps the optimizer's data parallelism (0 or negative selects
+// GOMAXPROCS, clamped to an internal bound). Results never depend on the
+// worker count.
+func (o *Optimizer) SetWorkers(n int) {
+	w := par.Workers(n)
+	if w > maxOptWorkers {
+		w = maxOptWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	o.workers = w
 }
 
 // Restart clears the momentum (a_k back to 1), keeping the current
@@ -82,21 +158,40 @@ func (o *Optimizer) Reference() []float64 { return o.v }
 // Alpha returns the most recent step length.
 func (o *Optimizer) Alpha() float64 { return o.alpha }
 
-// norm2 returns the Euclidean norm of the difference a-b.
-func normDiff(a, b []float64) float64 {
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
+// dispatch runs a pre-bound disjoint-write stage over the vector length.
+func (o *Optimizer) dispatch(stage func(w, lo, hi int)) {
+	n := len(o.u)
+	if o.workers <= 1 || n < 2 {
+		stage(0, 0, n)
+		return
 	}
-	return math.Sqrt(s)
+	par.ForShards(o.workers, n, stage)
+}
+
+// normDiff returns the Euclidean norm of a-b, reduced over a fixed shard
+// structure so the result is identical for every worker count.
+func (o *Optimizer) normDiff(a, b []float64) float64 {
+	o.ndA, o.ndB = a, b
+	shards := len(o.ndPartial)
+	if o.workers <= 1 || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			o.stageND(s)
+		}
+	} else {
+		par.ForN(o.workers, shards, o.stageND)
+	}
+	o.ndA, o.ndB = nil, nil
+	t := 0.0
+	for _, p := range o.ndPartial {
+		t += p
+	}
+	return math.Sqrt(t)
 }
 
 // Step performs one accelerated iteration and returns the step length used.
 // project, if non-nil, is applied to candidate solutions to keep them in
 // the feasible box (e.g., inside the placement region).
 func (o *Optimizer) Step(project func(x []float64)) float64 {
-	n := len(o.u)
 	o.iter++
 
 	// Gradient at the current reference point.
@@ -105,8 +200,8 @@ func (o *Optimizer) Step(project func(x []float64)) float64 {
 	// Inverse-Lipschitz step prediction from the previous reference pair.
 	alpha := o.alpha
 	if o.iter > 1 {
-		dv := normDiff(o.v, o.vPrev)
-		dg := normDiff(o.g, o.gPrev)
+		dv := o.normDiff(o.v, o.vPrev)
+		dg := o.normDiff(o.g, o.gPrev)
 		if dg > 1e-30 && dv > 0 {
 			alpha = dv / dg
 		}
@@ -116,31 +211,26 @@ func (o *Optimizer) Step(project func(x []float64)) float64 {
 	}
 
 	aNext := (1 + math.Sqrt(4*o.a*o.a+1)) / 2
-	coef := (o.a - 1) / aNext
-
-	uNext, vNext, gNext := o.uNext, o.vNext, o.gNext
+	o.stepCoef = (o.a - 1) / aNext
 
 	for bt := 0; ; bt++ {
-		for i := 0; i < n; i++ {
-			uNext[i] = o.v[i] - alpha*o.g[i]
-		}
+		o.stepAlpha = alpha
+		o.dispatch(o.stageU)
 		if project != nil {
-			project(uNext)
+			project(o.uNext)
 		}
-		for i := 0; i < n; i++ {
-			vNext[i] = uNext[i] + coef*(uNext[i]-o.u[i])
-		}
+		o.dispatch(o.stageV)
 		if project != nil {
-			project(vNext)
+			project(o.vNext)
 		}
 		if bt >= o.MaxBacktrack {
 			break
 		}
 		// Backtracking: re-estimate the Lipschitz step at the candidate
 		// reference point; accept if the prediction was not optimistic.
-		o.eval(vNext, gNext)
-		dv := normDiff(vNext, o.v)
-		dg := normDiff(gNext, o.g)
+		o.eval(o.vNext, o.gNext)
+		dv := o.normDiff(o.vNext, o.v)
+		dg := o.normDiff(o.gNext, o.g)
 		if dg <= 1e-30 || dv <= 0 {
 			break
 		}
@@ -152,9 +242,9 @@ func (o *Optimizer) Step(project func(x []float64)) float64 {
 	}
 
 	copy(o.uPrev, o.u)
-	copy(o.u, uNext)
+	copy(o.u, o.uNext)
 	copy(o.vPrev, o.v)
-	copy(o.v, vNext)
+	copy(o.v, o.vNext)
 	copy(o.gPrev, o.g)
 	o.a = aNext
 	o.alpha = alpha

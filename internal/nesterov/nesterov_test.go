@@ -146,3 +146,63 @@ func TestReferenceAndCurrentExposed(t *testing.T) {
 		t.Error("alpha not positive")
 	}
 }
+
+// TestStepParallelMatchesSerial proves the sharded vector updates and
+// fixed-shard norm reductions give bit-identical trajectories for any
+// worker count, on a vector long enough for multiple reduction shards.
+func TestStepParallelMatchesSerial(t *testing.T) {
+	const n = 20000 // > ndElemsPerShard so the reduction really shards
+	quad := func(x, grad []float64) {
+		for i := range x {
+			grad[i] = x[i] - float64(i%7)
+		}
+	}
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = float64((i*37)%11) * 0.5
+	}
+
+	ref := New(x0, quad, 0.1)
+	if len(ref.ndPartial) < 2 {
+		t.Fatalf("test wants multiple norm shards, got %d", len(ref.ndPartial))
+	}
+	for k := 0; k < 5; k++ {
+		ref.Step(nil)
+	}
+
+	for _, workers := range []int{2, 4, 16} {
+		o := New(x0, quad, 0.1)
+		o.SetWorkers(workers)
+		for k := 0; k < 5; k++ {
+			o.Step(nil)
+		}
+		for i := range ref.u {
+			if o.u[i] != ref.u[i] || o.v[i] != ref.v[i] {
+				t.Fatalf("workers=%d: index %d diverged u %v/%v v %v/%v",
+					workers, i, o.u[i], ref.u[i], o.v[i], ref.v[i])
+			}
+		}
+		if o.Alpha() != ref.Alpha() {
+			t.Fatalf("workers=%d: alpha %v, want %v", workers, o.Alpha(), ref.Alpha())
+		}
+	}
+}
+
+// TestStepZeroAllocSteadyState guards the serial step: no allocations once
+// the optimizer is constructed.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	quad := func(x, grad []float64) {
+		for i := range x {
+			grad[i] = x[i]
+		}
+	}
+	x0 := make([]float64, 512)
+	for i := range x0 {
+		x0[i] = float64(i) * 0.01
+	}
+	o := New(x0, quad, 0.1)
+	o.Step(nil) // warm up
+	if n := testing.AllocsPerRun(10, func() { o.Step(nil) }); n != 0 {
+		t.Errorf("steady-state Step allocates %v per run, want 0", n)
+	}
+}

@@ -86,6 +86,49 @@ func ForN(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForShards splits [0, n) into min(Workers(workers), n) contiguous shards
+// and runs fn(w, lo, hi) for each shard w on its own goroutine, blocking
+// until all return. Unlike For/ForN, fn receives the shard index, so
+// callers can hand each executor private scratch (per-worker FFT buffers,
+// per-worker accumulators) without synchronization.
+//
+// The shard STRUCTURE depends on the worker count, so ForShards is only
+// safe for worker-count-independent results when every shard writes a
+// disjoint output range (or the outputs are order-independent, like
+// per-pin gradient slots). For floating-point reductions that must stay
+// bit-identical across worker counts, shard the reduction with a count
+// derived from the problem size (see internal/density's overflow partials)
+// and use ForN to execute the fixed shards.
+//
+// With one effective worker fn(0, 0, n) runs on the calling goroutine
+// without spawning. Note the fn closure itself still escapes (it is handed
+// to goroutines on the parallel branch), so zero-allocation hot paths must
+// branch to a plain loop before constructing the closure — see the
+// workers==1 fast paths in internal/density and internal/wirelength.
+func ForShards(workers, n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			lo, hi := ShardRange(k, w, n)
+			fn(k, lo, hi)
+		}(k)
+	}
+	wg.Wait()
+}
+
 // forErrChunk is how many consecutive indices one worker claims per grab.
 // Small enough that a cancel is observed quickly, large enough that the
 // atomic counter is not the bottleneck on fine-grained bodies.

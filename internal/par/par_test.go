@@ -60,3 +60,51 @@ func TestForSmallAndEmpty(t *testing.T) {
 		t.Errorf("For(3) total = %d, want 4", count)
 	}
 }
+
+// TestForShardsCoversDisjointRanges checks every index is visited exactly
+// once, shards are contiguous and ordered, and each shard index appears
+// exactly once.
+func TestForShardsCoversDisjointRanges(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		const n = 101
+		var hits [n]int32
+		var shardCalls atomic.Int32
+		ForShards(workers, n, func(w, lo, hi int) {
+			shardCalls.Add(1)
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("workers=%d shard %d: bad range [%d,%d)", workers, w, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+		want := workers
+		if want > n {
+			want = n
+		}
+		if int(shardCalls.Load()) != want {
+			t.Fatalf("workers=%d: %d shard calls, want %d", workers, shardCalls.Load(), want)
+		}
+	}
+}
+
+// TestForShardsSerialRunsInline proves the one-worker path calls fn once
+// on the calling goroutine with the full range.
+func TestForShardsSerialRunsInline(t *testing.T) {
+	got := -1
+	ForShards(1, 50, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 50 {
+			t.Errorf("serial shard = (%d, %d, %d)", w, lo, hi)
+		}
+		got = hi
+	})
+	if got != 50 {
+		t.Fatal("fn never ran")
+	}
+	ForShards(4, 0, func(w, lo, hi int) { t.Error("fn called for n=0") })
+}

@@ -1,0 +1,119 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"puffer/internal/geom"
+	"puffer/internal/netlist"
+)
+
+// gpBenchDesign builds a mid-size synthetic design (~25% utilization so
+// fillers engage) for the GP iteration benchmarks and determinism tests.
+func gpBenchDesign(seed int64, nc int) *netlist.Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := &netlist.Design{
+		Name:      "gpbench",
+		Region:    geom.RectWH(0, 0, 128, 128),
+		RowHeight: 1,
+		SiteWidth: 0.25,
+		Layers:    netlist.DefaultLayers(),
+	}
+	for i := 0; i < nc; i++ {
+		d.AddCell(netlist.Cell{W: 1, H: 1, X: 64, Y: 64})
+	}
+	for i := 0; i+3 < nc; i += 2 {
+		n := d.AddNet("", 1)
+		d.Connect(i, n, 0.5, 0.5)
+		d.Connect(i+1, n, 0.5, 0.5)
+		if rng.Intn(2) == 0 {
+			d.Connect(i+rng.Intn(3), n, 0.5, 0.5)
+		}
+	}
+	return d
+}
+
+func gpBenchConfig(iters, workers int) Config {
+	cfg := DefaultConfig()
+	cfg.GridM, cfg.GridN = 64, 64
+	cfg.MaxIters = iters
+	cfg.MinIters = iters
+	cfg.StopOverflow = 0
+	cfg.PlateauIters = 0
+	cfg.Workers = workers
+	return cfg
+}
+
+// BenchmarkGPIterSerial measures one GP iteration with the parallel code
+// paths pinned to a single worker. CI compares it against
+// BenchmarkGPIterParallel via cmd/benchjson -ratio (BENCH_gp.json).
+func BenchmarkGPIterSerial(b *testing.B) {
+	b.ReportAllocs()
+	p := New(gpBenchDesign(1, 4000), gpBenchConfig(b.N, 1))
+	b.ResetTimer()
+	p.Run(nil)
+}
+
+// BenchmarkGPIterParallel is the same workload at GOMAXPROCS workers; the
+// placement it produces is bit-identical to the serial run.
+func BenchmarkGPIterParallel(b *testing.B) {
+	b.ReportAllocs()
+	p := New(gpBenchDesign(1, 4000), gpBenchConfig(b.N, 0))
+	b.ResetTimer()
+	p.Run(nil)
+}
+
+// runGP places a synthetic design with the given worker count and returns
+// the final cell centers and HPWL.
+func runGP(t *testing.T, workers int) ([]geom.Point, float64) {
+	t.Helper()
+	d := smallDesign(3, 300, true)
+	cfg := quickConfig()
+	cfg.MaxIters = 80
+	cfg.MinIters = 80
+	cfg.StopOverflow = 0
+	cfg.PlateauIters = 0
+	cfg.Workers = workers
+	p := New(d, cfg)
+	res := p.Run(nil)
+	pos := make([]geom.Point, len(d.Cells))
+	for i := range d.Cells {
+		pos[i] = d.Cells[i].Rect().Center()
+	}
+	return pos, res.HPWL
+}
+
+// TestGPDeterminismAcrossWorkers is the acceptance gate for the parallel
+// GP core: Workers=1 and Workers=4 (and an oversubscribed pool) must
+// produce bit-identical final positions and HPWL.
+func TestGPDeterminismAcrossWorkers(t *testing.T) {
+	refPos, refHPWL := runGP(t, 1)
+	for _, workers := range []int{2, 4, 16} {
+		pos, hpwl := runGP(t, workers)
+		if hpwl != refHPWL {
+			t.Fatalf("workers=%d: HPWL %v, want %v (bit-exact)", workers, hpwl, refHPWL)
+		}
+		for i := range pos {
+			if pos[i] != refPos[i] {
+				t.Fatalf("workers=%d: cell %d at %v, want %v (bit-exact)", workers, i, pos[i], refPos[i])
+			}
+		}
+	}
+}
+
+// TestGPStepZeroAllocSerial guards the steady-state Nesterov iteration:
+// with one worker, a full eval (wirelength gradient, rasterization,
+// spectral solve, force sweep) plus the optimizer update allocates nothing.
+func TestGPStepZeroAllocSerial(t *testing.T) {
+	d := smallDesign(5, 200, false)
+	cfg := quickConfig()
+	cfg.Workers = 1
+	p := New(d, cfg)
+	p.overflow = 1
+	p.updateGamma()
+	p.initLambda()
+	p.opt.Step(p.projectFn) // warm up
+	if n := testing.AllocsPerRun(5, func() { p.opt.Step(p.projectFn) }); n != 0 {
+		t.Errorf("steady-state GP step allocates %v per run, want 0", n)
+	}
+}

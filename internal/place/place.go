@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"puffer/internal/density"
 	"puffer/internal/flow"
@@ -18,6 +19,7 @@ import (
 	"puffer/internal/nesterov"
 	"puffer/internal/netlist"
 	"puffer/internal/obs"
+	"puffer/internal/par"
 	"puffer/internal/wirelength"
 )
 
@@ -55,6 +57,13 @@ type Config struct {
 	QuadraticInit bool
 	// Seed drives the deterministic initial placement jitter.
 	Seed int64
+	// Workers caps the engine's data parallelism across the per-iteration
+	// hot path (wirelength gradient, density rasterization, spectral
+	// solve, force sweep, optimizer vector work). Zero or negative selects
+	// GOMAXPROCS. Every phase is bit-deterministic regardless of the
+	// worker count — see DESIGN.md §3e — so changing Workers never changes
+	// the placement.
+	Workers int
 	// TraceCap bounds Result.Trace retention: the engine keeps the most
 	// recent TraceCap iterations in a ring buffer, so unbounded runs
 	// cannot grow the IterStats history without limit. Zero selects
@@ -188,7 +197,21 @@ type Placer struct {
 	overflow       float64
 	binBase        float64
 
-	opt *nesterov.Optimizer
+	opt       *nesterov.Optimizer
+	projectFn func(x []float64) // bound once; Step(p.project) would allocate per call
+
+	// parallel execution state; force-sweep stages are bound once in New
+	// so the steady-state iteration constructs no closures.
+	workers        int
+	rects          []geom.Rect // reusable deposit list (movables + fillers)
+	evalX          []float64   // operands of the in-flight force sweep
+	evalGrad       []float64
+	stageForceMov  func(w, lo, hi int)
+	stageForceFill func(w, lo, hi int)
+
+	// cumulative per-phase walls across the run (exposed as obs span args
+	// and place.phase.* gauges)
+	wallWL, wallRaster, wallSolve, wallForce time.Duration
 }
 
 // New builds a placer for d. The initial placement gathers movable cells
@@ -223,6 +246,9 @@ func New(d *netlist.Design, cfg Config) *Placer {
 	p.wl.Kind = cfg.WLModel
 	p.gradWx = make([]float64, len(d.Cells))
 	p.gradWy = make([]float64, len(d.Cells))
+	p.workers = par.Workers(cfg.Workers)
+	p.grid.SetWorkers(cfg.Workers)
+	p.wl.SetWorkers(cfg.Workers)
 
 	// Fillers: fill target whitespace with average-size dummy cells.
 	if cfg.UseFillers {
@@ -267,9 +293,67 @@ func New(d *netlist.Design, cfg Config) *Placer {
 	if cfg.QuadraticInit {
 		p.quadraticInit(x0, 20)
 	}
+	p.rects = make([]geom.Rect, 0, nm+p.nFill)
+	p.bindStages()
 	p.opt = nesterov.New(x0, p.eval, p.binBase/4)
 	p.opt.MaxBacktrack = 1
+	p.opt.SetWorkers(cfg.Workers)
+	p.projectFn = p.project
 	return p
+}
+
+// Workers reports the engine's resolved worker cap.
+func (p *Placer) Workers() int { return p.workers }
+
+// dispatch runs a pre-bound disjoint-write stage over [0, n).
+func (p *Placer) dispatch(n int, stage func(w, lo, hi int)) {
+	if p.workers <= 1 || n < 2 {
+		stage(0, 0, n)
+		return
+	}
+	par.ForShards(p.workers, n, stage)
+}
+
+// bindStages constructs the force-sweep bodies once. Both stages only read
+// the solved field (Grid.ForceOnRect is read-only) and write disjoint
+// gradient slots, so any shard partition produces identical bits.
+func (p *Placer) bindStages() {
+	p.stageForceMov = func(w, lo, hi int) {
+		d := p.D
+		nm := len(p.movable)
+		off := nm + p.nFill
+		grad := p.evalGrad
+		lambda := p.lambda
+		for k := lo; k < hi; k++ {
+			ci := p.movable[k]
+			c := &d.Cells[ci]
+			fx, fy := p.grid.ForceOnRect(c.PaddedRect())
+			gx := p.gradWx[ci] - lambda*fx
+			gy := p.gradWy[ci] - lambda*fy
+			// Preconditioner: pin count + λ·charge, per ePlace.
+			h := math.Max(1, float64(len(c.Pins))+lambda*c.PaddedW()*c.H)
+			grad[k] = gx / h
+			grad[off+k] = gy / h
+		}
+	}
+	p.stageForceFill = func(w, lo, hi int) {
+		nm := len(p.movable)
+		off := nm + p.nFill
+		x, grad := p.evalX, p.evalGrad
+		lambda := p.lambda
+		fillerQ := p.fillerW * p.fillerH
+		for f := lo; f < hi; f++ {
+			if f >= p.activeFill {
+				grad[nm+f] = 0
+				grad[off+nm+f] = 0
+				continue
+			}
+			fx, fy := p.grid.ForceOnRect(p.fillerRect(x[nm+f], x[off+nm+f]))
+			h := math.Max(1, lambda*fillerQ)
+			grad[nm+f] = -lambda * fx / h
+			grad[off+nm+f] = -lambda * fy / h
+		}
+	}
 }
 
 // Grid exposes the density grid (used by tests and experiments).
@@ -285,62 +369,55 @@ func (p *Placer) writePositions(x []float64) {
 	}
 }
 
-// depositMovable adds the padded outlines of all movable cells as charge.
-func (p *Placer) depositMovable() {
+// fillerRect is the outline of a filler cell centered at (cx, cy).
+func (p *Placer) fillerRect(cx, cy float64) geom.Rect {
+	return geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH)
+}
+
+// buildRects refreshes the reusable deposit list: the padded outlines of
+// all movable cells in movable order, then the first nFillActive filler
+// outlines read from x. The backing array is retained across calls.
+func (p *Placer) buildRects(x []float64, nFillActive int) {
+	nm := len(p.movable)
+	off := nm + p.nFill
+	p.rects = p.rects[:0]
 	for _, ci := range p.movable {
-		p.grid.AddRect(p.D.Cells[ci].PaddedRect(), 1)
+		p.rects = append(p.rects, p.D.Cells[ci].PaddedRect())
+	}
+	for f := 0; f < nFillActive; f++ {
+		p.rects = append(p.rects, p.fillerRect(x[nm+f], x[off+nm+f]))
 	}
 }
 
 // eval is the gradient oracle for the Nesterov optimizer: it computes
-// ∇(W + λD) at positions x, preconditioned per variable.
+// ∇(W + λD) at positions x, preconditioned per variable. Its four phases —
+// wirelength gradient, density rasterization, spectral solve, force sweep —
+// run across the configured workers, and their cumulative walls feed the
+// place.phase.* telemetry.
 func (p *Placer) eval(x, grad []float64) {
-	d := p.D
 	nm := len(p.movable)
-	off := nm + p.nFill
 
+	t := time.Now()
 	p.writePositions(x)
-	for i := range p.gradWx {
-		p.gradWx[i] = 0
-		p.gradWy[i] = 0
-	}
 	p.wl.Gamma = p.gamma
 	p.wl.WirelengthAndGrad(p.gradWx, p.gradWy)
+	p.wallWL += time.Since(t)
 
-	p.grid.Reset()
-	p.depositMovable()
-	for f := 0; f < p.activeFill; f++ {
-		cx := x[nm+f]
-		cy := x[off+nm+f]
-		p.grid.AddRect(geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH), 1)
-	}
+	t = time.Now()
+	p.buildRects(x, p.activeFill)
+	p.grid.DepositRects(p.rects)
+	p.wallRaster += time.Since(t)
+
+	t = time.Now()
 	p.grid.Solve()
+	p.wallSolve += time.Since(t)
 
-	lambda := p.lambda
-	for k, ci := range p.movable {
-		c := &d.Cells[ci]
-		fx, fy := p.grid.ForceOnRect(c.PaddedRect())
-		gx := p.gradWx[ci] - lambda*fx
-		gy := p.gradWy[ci] - lambda*fy
-		// Preconditioner: pin count + λ·charge, per ePlace.
-		h := math.Max(1, float64(len(c.Pins))+lambda*c.PaddedW()*c.H)
-		grad[k] = gx / h
-		grad[off+k] = gy / h
-	}
-	fillerQ := p.fillerW * p.fillerH
-	for f := 0; f < p.nFill; f++ {
-		if f >= p.activeFill {
-			grad[nm+f] = 0
-			grad[off+nm+f] = 0
-			continue
-		}
-		cx := x[nm+f]
-		cy := x[off+nm+f]
-		fx, fy := p.grid.ForceOnRect(geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH))
-		h := math.Max(1, lambda*fillerQ)
-		grad[nm+f] = -lambda * fx / h
-		grad[off+nm+f] = -lambda * fy / h
-	}
+	t = time.Now()
+	p.evalX, p.evalGrad = x, grad
+	p.dispatch(nm, p.stageForceMov)
+	p.dispatch(p.nFill, p.stageForceFill)
+	p.evalX, p.evalGrad = nil, nil
+	p.wallForce += time.Since(t)
 }
 
 // project clamps every coordinate so cell centers stay inside the region
@@ -365,9 +442,10 @@ func (p *Placer) project(x []float64) {
 // computeOverflow measures density overflow of movable cells only (the τ
 // trigger metric), at the current major solution.
 func (p *Placer) computeOverflow() float64 {
-	p.writePositions(p.opt.Current())
-	p.grid.Reset()
-	p.depositMovable()
+	x := p.opt.Current()
+	p.writePositions(x)
+	p.buildRects(x, 0) // movables only: fillers are not congestion
+	p.grid.DepositRects(p.rects)
 	return p.grid.Overflow(p.Cfg.TargetDensity, p.D.TotalMovableArea()+p.D.TotalPaddingArea())
 }
 
@@ -382,24 +460,13 @@ func (p *Placer) updateGamma() {
 
 // initLambda balances the initial wirelength and density gradient norms.
 func (p *Placer) initLambda() {
-	nm := len(p.movable)
-	off := nm + p.nFill
 	x := p.opt.Current()
 
 	p.writePositions(x)
-	for i := range p.gradWx {
-		p.gradWx[i] = 0
-		p.gradWy[i] = 0
-	}
 	p.wl.Gamma = p.gamma
 	p.wl.WirelengthAndGrad(p.gradWx, p.gradWy)
-	p.grid.Reset()
-	p.depositMovable()
-	for f := 0; f < p.activeFill; f++ {
-		cx := x[nm+f]
-		cy := x[off+nm+f]
-		p.grid.AddRect(geom.RectWH(cx-p.fillerW/2, cy-p.fillerH/2, p.fillerW, p.fillerH), 1)
-	}
+	p.buildRects(x, p.activeFill)
+	p.grid.DepositRects(p.rects)
 	p.grid.Solve()
 
 	sumW, sumD := 0.0, 0.0
@@ -461,6 +528,26 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 	sGamma := rec.Series("place.gamma")
 	sStep := rec.Series("place.step_len")
 	cIters := rec.Counter("place.iters")
+	gPhaseWL := rec.Gauge("place.phase.wl_grad_ms")
+	gPhaseRaster := rec.Gauge("place.phase.raster_ms")
+	gPhaseSolve := rec.Gauge("place.phase.solve_ms")
+	gPhaseForce := rec.Gauge("place.phase.force_ms")
+	span, ctx := obs.Start(ctx, rec, "place.gp")
+	defer func() {
+		span.SetArg("workers", p.workers)
+		span.SetArg("iters", res.Iters)
+		span.SetArg("wl_grad_ms", p.wallWL.Seconds()*1e3)
+		span.SetArg("raster_ms", p.wallRaster.Seconds()*1e3)
+		span.SetArg("solve_ms", p.wallSolve.Seconds()*1e3)
+		span.SetArg("force_ms", p.wallForce.Seconds()*1e3)
+		span.End()
+	}()
+	flushPhases := func() {
+		gPhaseWL.Set(p.wallWL.Seconds() * 1e3)
+		gPhaseRaster.Set(p.wallRaster.Seconds() * 1e3)
+		gPhaseSolve.Set(p.wallSolve.Seconds() * 1e3)
+		gPhaseForce.Set(p.wallForce.Seconds() * 1e3)
+	}
 
 	ring := newTraceRing(p.Cfg.TraceCap)
 	flushTrace := func() {
@@ -514,6 +601,7 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 		sGamma.Observe(iter, p.gamma)
 		sStep.Observe(iter, p.opt.Alpha())
 		cIters.Inc()
+		flushPhases()
 		res.Iters = iter
 
 		if iter >= p.Cfg.MinIters && p.overflow <= p.Cfg.StopOverflow {
@@ -529,7 +617,7 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 		if p.Cfg.PlateauIters > 0 && iter >= p.Cfg.MinIters && iter-bestIter >= p.Cfg.PlateauIters {
 			break
 		}
-		p.opt.Step(p.project)
+		p.opt.Step(p.projectFn)
 
 		// Adaptive penalty schedule: full LambdaMu growth while HPWL is
 		// steady, down to 1/LambdaMu when wirelength degrades faster than

@@ -8,12 +8,32 @@
 // a differentiable underestimate of the half-perimeter wirelength that
 // converges to HPWL as γ → 0. Gradients are accumulated per cell (pin
 // offsets are rigid, so ∂pin/∂cell = 1).
+//
+// # Parallelism and determinism
+//
+// WirelengthAndGrad is the first phase of every placement iteration, so it
+// shards nets across SetWorkers workers. Determinism does not depend on the
+// worker count:
+//
+//   - Each net writes its smooth length into a per-net slot and its pin
+//     gradients into PER-PIN slots (every pin belongs to exactly one net,
+//     so these writes are disjoint for any net partition — no per-worker
+//     accumulator grids and no merge pass are needed).
+//   - A second sharded phase reduces pin gradients into cell gradients,
+//     summing each cell's pins in their fixed netlist order.
+//   - The total wirelength sums the per-net slots over a FIXED shard count
+//     derived from the net count, merging partials in shard order, so the
+//     floating-point grouping never changes with the worker count.
+//
+// With one worker every phase runs inline over pre-bound closures, so the
+// steady-state evaluation performs no heap allocation.
 package wirelength
 
 import (
 	"math"
 
 	"puffer/internal/netlist"
+	"puffer/internal/par"
 )
 
 // Kind selects the smooth wirelength approximation.
@@ -29,17 +49,47 @@ const (
 	LSE
 )
 
+// maxWLWorkers bounds the per-worker scratch (four maxPins vectors each).
+const maxWLWorkers = 16
+
+// wlNetsPerShard sizes the fixed total-wirelength reduction shards; the
+// count depends only on the net count, never the worker count.
+const wlNetsPerShard = 2048
+
+// axisScratch is one worker's private per-net staging: pin coordinates and
+// exponential weights, sized to the largest net.
+type axisScratch struct {
+	px, py []float64
+	ep, em []float64
+}
+
 // Model evaluates smooth wirelength and its gradient over a design. The
-// zero value is not usable; construct with New. A Model keeps scratch
-// buffers sized to the largest net, so reuse it across iterations.
+// zero value is not usable; construct with New. A Model keeps per-worker
+// scratch sized to the largest net plus per-pin/per-net result slots, so
+// reuse it across iterations. The model starts serial; SetWorkers enables
+// net-sharded evaluation without changing any result bit.
 type Model struct {
 	d     *netlist.Design
 	Gamma float64
 	Kind  Kind
 
-	// scratch, indexed by position within a net
-	px, py []float64
-	ep, em []float64
+	workers int
+	scratch []axisScratch
+	maxPins int
+
+	pinGX, pinGY []float64 // per-pin gradient slots, indexed by pin ID
+	wlNet        []float64 // per-net weighted smooth length
+	wlPartial    []float64 // fixed-shard partial sums of wlNet
+
+	// operands of the in-flight evaluation
+	gradX, gradY []float64
+	wantGrad     bool
+
+	// Stage bodies bound once at New so the serial fast path and the
+	// sharded path share code without per-call closure allocation.
+	stageNets  func(w, lo, hi int)
+	stageCells func(w, lo, hi int)
+	stageSum   func(s int)
 }
 
 // New creates a WA wirelength model for design d with smoothing γ; set
@@ -51,73 +101,171 @@ func New(d *netlist.Design, gamma float64) *Model {
 			maxPins = n
 		}
 	}
-	return &Model{
-		d:     d,
-		Gamma: gamma,
-		px:    make([]float64, maxPins),
-		py:    make([]float64, maxPins),
-		ep:    make([]float64, maxPins),
-		em:    make([]float64, maxPins),
+	m := &Model{
+		d:       d,
+		Gamma:   gamma,
+		workers: 1,
+		maxPins: maxPins,
+		pinGX:   make([]float64, len(d.Pins)),
+		pinGY:   make([]float64, len(d.Pins)),
+		wlNet:   make([]float64, len(d.Nets)),
+	}
+	m.scratch = []axisScratch{m.newScratch()}
+	shards := len(d.Nets) / wlNetsPerShard
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxWLWorkers {
+		shards = maxWLWorkers
+	}
+	m.wlPartial = make([]float64, shards)
+	m.bindStages()
+	return m
+}
+
+func (m *Model) newScratch() axisScratch {
+	return axisScratch{
+		px: make([]float64, m.maxPins),
+		py: make([]float64, m.maxPins),
+		ep: make([]float64, m.maxPins),
+		em: make([]float64, m.maxPins),
 	}
 }
 
-// WirelengthAndGrad computes the total weighted WA wirelength and adds each
-// net's gradient into gradX/gradY, indexed by cell ID. The slices must be
-// zeroed by the caller and have length len(d.Cells). Gradients are
-// accumulated for fixed cells too; callers simply ignore them.
-func (m *Model) WirelengthAndGrad(gradX, gradY []float64) float64 {
+// SetWorkers caps the model's data parallelism (0 or negative selects
+// GOMAXPROCS, clamped to an internal bound) and grows the per-worker
+// scratch pool up front so later evaluations stay allocation-free. Results
+// never depend on the worker count.
+func (m *Model) SetWorkers(n int) {
+	w := par.Workers(n)
+	if w > maxWLWorkers {
+		w = maxWLWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	m.workers = w
+	for len(m.scratch) < w {
+		m.scratch = append(m.scratch, m.newScratch())
+	}
+}
+
+// Workers reports the resolved worker cap.
+func (m *Model) Workers() int { return m.workers }
+
+func (m *Model) dispatch(n int, stage func(w, lo, hi int)) {
+	if m.workers <= 1 || n < 2 {
+		stage(0, 0, n)
+		return
+	}
+	par.ForShards(m.workers, n, stage)
+}
+
+func (m *Model) bindStages() {
+	// Per-net phase: stage pin coordinates, evaluate both axes, assign the
+	// per-net length slot and (when wanted) the per-pin gradient slots.
+	// Every write is keyed by a net or one of its pins, and each pin
+	// belongs to exactly one net, so any net partition yields the same
+	// bits. Pins of skipped (<2 pin) nets keep their zero from New.
+	m.stageNets = func(w, lo, hi int) {
+		s := &m.scratch[w]
+		d := m.d
+		for n := lo; n < hi; n++ {
+			net := &d.Nets[n]
+			if len(net.Pins) < 2 {
+				m.wlNet[n] = 0
+				continue
+			}
+			wt := net.Weight
+			if wt == 0 {
+				wt = 1
+			}
+			k := len(net.Pins)
+			for i, pid := range net.Pins {
+				p := d.PinPos(pid)
+				s.px[i] = p.X
+				s.py[i] = p.Y
+			}
+			if m.wantGrad {
+				m.wlNet[n] = wt*m.netAxis(s, s.px[:k], net.Pins, m.pinGX, wt) +
+					wt*m.netAxis(s, s.py[:k], net.Pins, m.pinGY, wt)
+			} else {
+				m.wlNet[n] = wt * (m.axisWL(s.px[:k]) + m.axisWL(s.py[:k]))
+			}
+		}
+	}
+	// Per-cell reduce: sum each cell's pin slots in netlist pin order and
+	// overwrite the caller's gradient entry. Disjoint per cell.
+	m.stageCells = func(w, lo, hi int) {
+		d := m.d
+		for c := lo; c < hi; c++ {
+			var gx, gy float64
+			for _, pid := range d.Cells[c].Pins {
+				gx += m.pinGX[pid]
+				gy += m.pinGY[pid]
+			}
+			m.gradX[c] = gx
+			m.gradY[c] = gy
+		}
+	}
+	// Fixed-shard partial sums of the per-net lengths.
+	m.stageSum = func(s int) {
+		lo, hi := par.ShardRange(s, len(m.wlPartial), len(m.wlNet))
+		t := 0.0
+		for i := lo; i < hi; i++ {
+			t += m.wlNet[i]
+		}
+		m.wlPartial[s] = t
+	}
+}
+
+// reduceTotal sums the per-net lengths over the fixed shard structure and
+// merges the partials in shard order.
+func (m *Model) reduceTotal() float64 {
+	shards := len(m.wlPartial)
+	if m.workers <= 1 || shards <= 1 {
+		for s := 0; s < shards; s++ {
+			m.stageSum(s)
+		}
+	} else {
+		par.ForN(m.workers, shards, m.stageSum)
+	}
 	total := 0.0
-	d := m.d
-	for n := range d.Nets {
-		net := &d.Nets[n]
-		if len(net.Pins) < 2 {
-			continue
-		}
-		w := net.Weight
-		if w == 0 {
-			w = 1
-		}
-		k := len(net.Pins)
-		for i, pid := range net.Pins {
-			p := d.PinPos(pid)
-			m.px[i] = p.X
-			m.py[i] = p.Y
-		}
-		total += w * m.axis(m.px[:k], net.Pins, gradX, w)
-		total += w * m.axis(m.py[:k], net.Pins, gradY, w)
+	for _, p := range m.wlPartial {
+		total += p
 	}
 	return total
+}
+
+// WirelengthAndGrad computes the total weighted WA wirelength and writes
+// each cell's gradient into gradX/gradY, indexed by cell ID. The slices
+// must have length len(d.Cells); every entry is overwritten, so callers
+// need not zero them between iterations. Gradients are produced for fixed
+// cells too; callers simply ignore them.
+func (m *Model) WirelengthAndGrad(gradX, gradY []float64) float64 {
+	m.gradX, m.gradY = gradX, gradY
+	m.wantGrad = true
+	m.dispatch(len(m.d.Nets), m.stageNets)
+	m.dispatch(len(m.d.Cells), m.stageCells)
+	m.gradX, m.gradY = nil, nil
+	m.wantGrad = false
+	return m.reduceTotal()
 }
 
 // Wirelength computes the total weighted WA wirelength without gradients.
+// It shares the per-net evaluation and reduction structure with
+// WirelengthAndGrad, so the two totals agree to rounding.
 func (m *Model) Wirelength() float64 {
-	total := 0.0
-	d := m.d
-	for n := range d.Nets {
-		net := &d.Nets[n]
-		if len(net.Pins) < 2 {
-			continue
-		}
-		w := net.Weight
-		if w == 0 {
-			w = 1
-		}
-		k := len(net.Pins)
-		for i, pid := range net.Pins {
-			p := d.PinPos(pid)
-			m.px[i] = p.X
-			m.py[i] = p.Y
-		}
-		total += w * (m.axisWL(m.px[:k]) + m.axisWL(m.py[:k]))
-	}
-	return total
+	m.dispatch(len(m.d.Nets), m.stageNets)
+	return m.reduceTotal()
 }
 
-// axis computes the smooth wirelength of one net along one axis and
-// accumulates w × gradient into grad (indexed by cell).
-func (m *Model) axis(xs []float64, pins []int, grad []float64, w float64) float64 {
+// netAxis computes the smooth wirelength of one net along one axis and
+// assigns w × ∂W/∂pin into the per-pin slots (each pin belongs to exactly
+// one net, so assignment — not accumulation — is correct and race-free).
+func (m *Model) netAxis(s *axisScratch, xs []float64, pins []int, pinG []float64, w float64) float64 {
 	if m.Kind == LSE {
-		return m.axisLSE(xs, pins, grad, w)
+		return m.netAxisLSE(s, xs, pins, pinG, w)
 	}
 	inv := 1 / m.Gamma
 	xmax, xmin := xs[0], xs[0]
@@ -134,8 +282,8 @@ func (m *Model) axis(xs []float64, pins []int, grad []float64, w float64) float6
 	for i, x := range xs {
 		ep := math.Exp((x - xmax) * inv)
 		em := math.Exp((xmin - x) * inv)
-		m.ep[i] = ep
-		m.em[i] = em
+		s.ep[i] = ep
+		s.em[i] = em
 		s0p += ep
 		s1p += x * ep
 		s0m += em
@@ -146,21 +294,20 @@ func (m *Model) axis(xs []float64, pins []int, grad []float64, w float64) float6
 	for i, x := range xs {
 		// ∂wp/∂x_i = e_i·[(1 + x_i/γ) - wp/γ]/S0p, same exponent shift
 		// cancels between numerator and denominator.
-		gp := m.ep[i] * ((1 + x*inv) - wp*inv) / s0p
-		gm := m.em[i] * ((1 - x*inv) + wm*inv) / s0m
-		cell := m.d.Pins[pins[i]].Cell
-		grad[cell] += w * (gp - gm)
+		gp := s.ep[i] * ((1 + x*inv) - wp*inv) / s0p
+		gm := s.em[i] * ((1 - x*inv) + wm*inv) / s0m
+		pinG[pins[i]] = w * (gp - gm)
 	}
 	return wp - wm
 }
 
-// axisLSE is the log-sum-exp variant:
+// netAxisLSE is the log-sum-exp variant:
 //
 //	W = γ·(log Σ e^{x/γ} + log Σ e^{-x/γ}),
 //
 // with the usual max-shift stabilization; the gradient per pin is the
 // difference of the two softmax weights.
-func (m *Model) axisLSE(xs []float64, pins []int, grad []float64, w float64) float64 {
+func (m *Model) netAxisLSE(s *axisScratch, xs []float64, pins []int, pinG []float64, w float64) float64 {
 	inv := 1 / m.Gamma
 	xmax, xmin := xs[0], xs[0]
 	for _, x := range xs[1:] {
@@ -175,16 +322,15 @@ func (m *Model) axisLSE(xs []float64, pins []int, grad []float64, w float64) flo
 	for i, x := range xs {
 		ep := math.Exp((x - xmax) * inv)
 		em := math.Exp((xmin - x) * inv)
-		m.ep[i] = ep
-		m.em[i] = em
+		s.ep[i] = ep
+		s.em[i] = em
 		s0p += ep
 		s0m += em
 	}
 	for i := range xs {
-		gp := m.ep[i] / s0p
-		gm := m.em[i] / s0m
-		cell := m.d.Pins[pins[i]].Cell
-		grad[cell] += w * (gp - gm)
+		gp := s.ep[i] / s0p
+		gm := s.em[i] / s0m
+		pinG[pins[i]] = w * (gp - gm)
 	}
 	return (xmax + m.Gamma*math.Log(s0p)) - (xmin - m.Gamma*math.Log(s0m))
 }

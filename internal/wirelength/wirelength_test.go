@@ -191,3 +191,58 @@ func BenchmarkWirelengthAndGrad(b *testing.B) {
 		m.WirelengthAndGrad(gx, gy)
 	}
 }
+
+// TestParallelMatchesSerialBitExact proves net sharding never changes a
+// bit: total and every per-cell gradient are identical for any worker
+// count, in both WA and LSE kinds.
+func TestParallelMatchesSerialBitExact(t *testing.T) {
+	d := randomDesign(7, 200, 300)
+	for _, kind := range []Kind{WA, LSE} {
+		ref := New(d, 1.5)
+		ref.Kind = kind
+		gx := make([]float64, len(d.Cells))
+		gy := make([]float64, len(d.Cells))
+		wl := ref.WirelengthAndGrad(gx, gy)
+		wlOnly := ref.Wirelength()
+
+		for _, workers := range []int{2, 3, 4, 16} {
+			m := New(d, 1.5)
+			m.Kind = kind
+			m.SetWorkers(workers)
+			px := make([]float64, len(d.Cells))
+			py := make([]float64, len(d.Cells))
+			got := m.WirelengthAndGrad(px, py)
+			if got != wl {
+				t.Fatalf("kind=%v workers=%d: WL %v, want %v (bit-exact)", kind, workers, got, wl)
+			}
+			if got2 := m.Wirelength(); got2 != wlOnly {
+				t.Fatalf("kind=%v workers=%d: Wirelength %v, want %v (bit-exact)", kind, workers, got2, wlOnly)
+			}
+			for c := range gx {
+				if px[c] != gx[c] || py[c] != gy[c] {
+					t.Fatalf("kind=%v workers=%d: cell %d grad (%v,%v), want (%v,%v)",
+						kind, workers, c, px[c], py[c], gx[c], gy[c])
+				}
+			}
+		}
+	}
+}
+
+// TestWirelengthZeroAllocSteadyState guards the serial hot path: after New,
+// repeated evaluations allocate nothing.
+func TestWirelengthZeroAllocSteadyState(t *testing.T) {
+	d := randomDesign(9, 100, 150)
+	m := New(d, 2.0)
+	gx := make([]float64, len(d.Cells))
+	gy := make([]float64, len(d.Cells))
+	m.WirelengthAndGrad(gx, gy) // warm up
+	if n := testing.AllocsPerRun(10, func() {
+		for i := range gx {
+			gx[i], gy[i] = 0, 0
+		}
+		m.WirelengthAndGrad(gx, gy)
+		m.Wirelength()
+	}); n != 0 {
+		t.Errorf("steady-state evaluation allocates %v per run, want 0", n)
+	}
+}

@@ -54,11 +54,13 @@ type Config struct {
 	// CongGridW/H size the congestion estimation Gcell grid; zero picks
 	// roughly two placement rows per Gcell.
 	CongGridW, CongGridH int
-	// Workers caps the flow's data parallelism — congestion estimation,
-	// feature extraction, and router net decomposition (0 = GOMAXPROCS).
-	// Heavy-traffic deployments set it to bound placement CPU usage; the
-	// parallel estimator merges shards deterministically, so results are
-	// reproducible for a fixed worker count.
+	// Workers caps the flow's data parallelism — the global-placement
+	// inner loop, congestion estimation, feature extraction, and router
+	// net decomposition (0 = GOMAXPROCS). Heavy-traffic deployments set it
+	// to bound placement CPU usage; the parallel estimator merges shards
+	// deterministically (reproducible for a fixed worker count), and the
+	// GP inner loop is bit-deterministic for ANY worker count (DESIGN.md
+	// §3e).
 	Workers int
 	// Logf, when non-nil, receives stage-by-stage progress lines. Excluded
 	// from JSON (the run report embeds the Config) along with Obs.
@@ -176,6 +178,9 @@ func NewRunContext(d *netlist.Design, cfg Config) (*RunContext, error) {
 		}
 		if cfg.Strategy.Feat.Workers == 0 {
 			cfg.Strategy.Feat.Workers = cfg.Workers
+		}
+		if cfg.Place.Workers == 0 {
+			cfg.Place.Workers = cfg.Workers
 		}
 	}
 	// The flow-level recorder reaches the placement engine through its own
