@@ -39,6 +39,7 @@ package density
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"puffer/internal/fft"
 	"puffer/internal/geom"
@@ -55,10 +56,34 @@ const maxGridWorkers = 16
 // therefore the result, bit for bit — is identical for every worker count.
 const ovfBinsPerShard = 4096
 
-// solveScratch is one worker's private transform state: spectral clones
+// SolverKind selects the 1-D transform engine behind the spectral solve.
+type SolverKind int
+
+const (
+	// SolverReal is the production engine: real-input FFTs of size M/2
+	// with the DCT-II twiddles fused into the pack/unpack loops
+	// (fft.RealPlan) — no 2M mirror buffer, a quarter of the complex
+	// butterflies of the reference path.
+	SolverReal SolverKind = iota
+	// SolverComplex is the reference engine: every 1-D primitive is a
+	// complex FFT of size 2M over the mirror extension (fft.Spectral).
+	// It exists for cross-checking and the Old/New benchmark pair.
+	SolverComplex
+)
+
+// newTransform builds the 1-D engine for dimension size m. RealPlan needs
+// m >= 2; a (degenerate) one-bin dimension falls back to the reference.
+func newTransform(m int, kind SolverKind) fft.Transform {
+	if kind == SolverReal && m >= 2 {
+		return fft.NewRealPlan(m)
+	}
+	return fft.NewSpectral(m)
+}
+
+// solveScratch is one worker's private transform state: transform clones
 // sharing the grid's precomputed FFT plans, plus gather/scatter vectors.
 type solveScratch struct {
-	sx, sy *fft.Spectral
+	sx, sy fft.Transform
 	row    []float64 // length M, x-direction staging
 	col    []float64 // length N, y-direction gather
 	colOut []float64 // length N, y-direction result
@@ -77,7 +102,7 @@ type Grid struct {
 	Ex  []float64 // field x-component (-∂ψ/∂x)
 	Ey  []float64 // field y-component (-∂ψ/∂y)
 
-	sx, sy *fft.Spectral
+	sx, sy fft.Transform
 
 	// scratch buffers reused across Solve calls
 	coef           []float64
@@ -86,6 +111,26 @@ type Grid struct {
 	fixedRho       []float64 // baseline charge from fixed cells
 	hasFixed       bool
 	totalFixedArea float64
+
+	// Deposit fingerprint: lastRects retains the operand of the most
+	// recent DepositRects (so an identical re-deposit skips the raster)
+	// and solvedRects the operand whose deposit the current Psi/Ex/Ey
+	// were solved from (so an identical re-deposit lets Solve skip the
+	// spectral work entirely). rhoFromRects / solvedFromRects record
+	// whether those fingerprints are authoritative — any AddRect /
+	// AddFixedRect / Reset in between voids them.
+	lastRects       []geom.Rect
+	solvedRects     []geom.Rect
+	rhoFromRects    bool
+	solvedFromRects bool
+	fieldCurrent    bool // the latest deposit matched solvedRects
+	solves          int  // spectral solves actually executed
+	solveSkips      int  // Solve calls satisfied by the fingerprint
+
+	// Per-phase walls of the spectral solve, cumulative across the grid's
+	// lifetime (exposed through Solver.PhaseWalls into the place.phase.*
+	// density gauges).
+	wallAnalysis, wallFreq, wallSynth time.Duration
 
 	// Precomputed frequency-response tables, flat [v*M+u], with the
 	// 4/(M·N) analysis normalization and the u=0 / v=0 halving folded in:
@@ -117,8 +162,15 @@ type Grid struct {
 }
 
 // NewGrid creates an M×N grid over region. M and N must be powers of two.
-// The grid starts serial; call SetWorkers to enable data parallelism.
+// The grid starts serial; call SetWorkers to enable data parallelism. The
+// spectral solve uses the real-input engine (SolverReal); NewGridKind
+// selects the reference complex engine instead.
 func NewGrid(region geom.Rect, m, n int) *Grid {
+	return NewGridKind(region, m, n, SolverReal)
+}
+
+// NewGridKind is NewGrid with an explicit transform engine choice.
+func NewGridKind(region geom.Rect, m, n int, kind SolverKind) *Grid {
 	if m <= 0 || m&(m-1) != 0 || n <= 0 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("density: grid %dx%d must be powers of two", m, n))
 	}
@@ -126,8 +178,8 @@ func NewGrid(region geom.Rect, m, n int) *Grid {
 		M: m, N: n, Region: region,
 		BinW: region.W() / float64(m),
 		BinH: region.H() / float64(n),
-		sx:   fft.NewSpectral(m),
-		sy:   fft.NewSpectral(n),
+		sx:   newTransform(m, kind),
+		sy:   newTransform(n, kind),
 	}
 	size := m * n
 	g.Rho = make([]float64, size)
@@ -200,8 +252,8 @@ func (g *Grid) SetWorkers(n int) {
 	g.workers = w
 	for len(g.scratch) < w {
 		g.scratch = append(g.scratch, solveScratch{
-			sx:  g.sx.Clone(),
-			sy:  g.sy.Clone(),
+			sx:  g.sx.CloneTransform(),
+			sy:  g.sy.CloneTransform(),
 			row: make([]float64, g.M), col: make([]float64, g.N), colOut: make([]float64, g.N),
 		})
 	}
@@ -370,6 +422,31 @@ func (g *Grid) BinOf(p geom.Point) (int, int) {
 // Reset clears movable charge, keeping the fixed baseline.
 func (g *Grid) Reset() {
 	copy(g.Rho, g.fixedRho)
+	g.voidFingerprint()
+}
+
+// voidFingerprint discards the deposit fingerprints after any charge
+// mutation that DepositRects does not describe, so neither the raster nor
+// the solve skip can fire against stale state.
+func (g *Grid) voidFingerprint() {
+	g.rhoFromRects = false
+	g.solvedFromRects = false
+	g.fieldCurrent = false
+}
+
+// rectsEqual reports whether two rectangle lists are bitwise identical
+// (exact float comparison — the fingerprint must never conflate rounding
+// neighbours, only true re-deposits).
+func rectsEqual(a, b []geom.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // binRange returns the clamped half-open bin index ranges covered by r.
@@ -385,6 +462,7 @@ func (g *Grid) binRange(r geom.Rect) (i0, i1, j0, j1 int) {
 // rectangle overlaps, as charge density (area / bin area).
 func (g *Grid) AddRect(r geom.Rect, scale float64) {
 	g.addRectTo(g.Rho, r, scale)
+	g.voidFingerprint()
 }
 
 // AddFixedRect deposits the rectangle into the fixed baseline so it
@@ -393,6 +471,9 @@ func (g *Grid) AddFixedRect(r geom.Rect, scale float64) {
 	g.addRectTo(g.fixedRho, r, scale)
 	g.hasFixed = true
 	g.totalFixedArea += r.Intersect(g.Region).Area() * scale
+	// A new baseline changes what any rect list deposits to, so both the
+	// raster and the solve fingerprints are stale.
+	g.voidFingerprint()
 }
 
 func (g *Grid) addRectTo(dst []float64, r geom.Rect, scale float64) {
@@ -424,10 +505,20 @@ func (g *Grid) addRectTo(dst []float64, r geom.Rect, scale float64) {
 // equivalent of Reset followed by AddRect per rectangle, sharded by output
 // bin rows, and produces bit-identical charge for every worker count. The
 // rects slice is only read during the call; callers may reuse it.
+//
+// The call fingerprints its operand: depositing a list bitwise identical to
+// the previous one skips the raster (Rho is already exact, since the deposit
+// fully rewrites it), and depositing the list the current field was solved
+// from arms the next Solve to return without any spectral work.
 func (g *Grid) DepositRects(rects []geom.Rect) {
-	g.depRects = rects
-	g.dispatch(g.N, g.stageDeposit)
-	g.depRects = nil
+	if !g.rhoFromRects || !rectsEqual(rects, g.lastRects) {
+		g.depRects = rects
+		g.dispatch(g.N, g.stageDeposit)
+		g.depRects = nil
+		g.lastRects = append(g.lastRects[:0], rects...)
+		g.rhoFromRects = true
+	}
+	g.fieldCurrent = g.solvedFromRects && rectsEqual(rects, g.solvedRects)
 }
 
 // Solve computes the potential and field from the current charge. The DC
@@ -436,12 +527,25 @@ func (g *Grid) DepositRects(rects []geom.Rect) {
 // The row/column transform batches run across the SetWorkers pool with
 // per-worker spectral scratch; every batch writes a disjoint output range,
 // so the solution is bit-identical for any worker count.
+// When the most recent DepositRects matched the list the current field was
+// solved from, the charge — and therefore the solution — is unchanged, and
+// Solve returns immediately (see SolveSkips). Mutating the charge by any
+// other means (AddRect, Reset, direct Rho writes) always forces a full
+// solve on the next call.
 func (g *Grid) Solve() {
+	if g.fieldCurrent {
+		g.solveSkips++
+		return
+	}
+
 	// Forward analysis: cosine coefficients along x for each row, then
 	// along y for each column, then the per-mode frequency response.
+	t := time.Now()
 	g.dispatch(g.N, g.stageFwdRows)
 	g.dispatch(g.M, g.stageFwdCols)
+	t = g.lap(t, &g.wallAnalysis)
 	g.dispatch(g.N, g.stageFreq)
+	t = g.lap(t, &g.wallFreq)
 
 	// Synthesis. ψ uses cos·cos; Ex = -∂ψ/∂x uses sin in x (the derivative
 	// of cos(ku·x) is -ku·sin(ku·x), and E = -∇ψ cancels the sign);
@@ -449,6 +553,20 @@ func (g *Grid) Solve() {
 	g.synthesize(g.bufPsi, g.Psi, false, false)
 	g.synthesize(g.bufEx, g.Ex, true, false)
 	g.synthesize(g.bufEy, g.Ey, false, true)
+	g.lap(t, &g.wallSynth)
+
+	g.solves++
+	g.solvedFromRects = g.rhoFromRects
+	if g.solvedFromRects {
+		g.solvedRects = append(g.solvedRects[:0], g.lastRects...)
+	}
+}
+
+// lap accumulates the time since t into *wall and returns the new mark.
+func (g *Grid) lap(t time.Time, wall *time.Duration) time.Time {
+	now := time.Now()
+	*wall += now.Sub(t)
+	return now
 }
 
 // synthesize evaluates the 2-D series with sine evaluation in x and/or y.
@@ -530,3 +648,35 @@ func (g *Grid) Overflow(target, totalMovableArea float64) float64 {
 	}
 	return over * g.BinW * g.BinH / totalMovableArea
 }
+
+// Solves reports how many Solve calls actually ran the spectral pipeline.
+func (g *Grid) Solves() int { return g.solves }
+
+// SolveSkips reports how many Solve calls returned immediately because the
+// deposited charge matched the list the current field was solved from.
+func (g *Grid) SolveSkips() int { return g.solveSkips }
+
+// PhaseWalls returns the cumulative wall time of the spectral solve split
+// by phase: forward analysis (row+column DCTs), the frequency-domain
+// response, and the three synthesis passes.
+func (g *Grid) PhaseWalls() (analysis, freq, synth time.Duration) {
+	return g.wallAnalysis, g.wallFreq, g.wallSynth
+}
+
+// The Solver methods below make a bare Grid the single-level degenerate
+// case of the multi-resolution pyramid: one level, never refining.
+
+// Active returns the grid itself.
+func (g *Grid) Active() *Grid { return g }
+
+// Finest returns the grid itself.
+func (g *Grid) Finest() *Grid { return g }
+
+// Level returns 0: a bare grid is always at the finest level.
+func (g *Grid) Level() int { return 0 }
+
+// Levels returns 1.
+func (g *Grid) Levels() int { return 1 }
+
+// Refine is a no-op on a single grid and reports false.
+func (g *Grid) Refine() bool { return false }

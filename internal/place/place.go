@@ -23,11 +23,42 @@ import (
 	"puffer/internal/wirelength"
 )
 
+// MinGridDim is the smallest density-grid dimension the engine accepts
+// (and the floor of the automatic selection). Below it the spectral model
+// has too few modes to produce a useful spreading force.
+const MinGridDim = 16
+
+// ConfigError reports a Config field that failed validation. It is a typed
+// error so callers can distinguish a bad configuration from a runtime
+// failure (errors.As(&place.ConfigError{})) instead of catching a panic
+// from deep inside the spectral setup.
+type ConfigError struct {
+	Field  string // the offending Config field
+	Reason string // human-readable constraint violation
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("place: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
 // Config controls the global placement engine.
 type Config struct {
-	// GridM/GridN are the density grid dimensions (powers of two).
-	// Zero selects them automatically from the movable cell count.
+	// GridM/GridN are the density grid dimensions (powers of two,
+	// ≥ MinGridDim). Zero selects them automatically from the movable cell
+	// count.
 	GridM, GridN int
+	// PyramidLevels enables the multi-resolution density pyramid when > 1:
+	// the engine starts on a grid coarsened by 2^(PyramidLevels-1) per axis
+	// (clamped so no level drops below 8 bins) and refines toward the full
+	// GridM×GridN resolution as overflow falls below the RefineOverflow
+	// thresholds. 0 or 1 keeps the single fixed grid.
+	PyramidLevels int
+	// RefineOverflow customizes the refinement schedule: the engine leaves
+	// level k (1 = one below finest … PyramidLevels-1 = coarsest) when
+	// overflow drops below RefineOverflow[k-1]. Empty selects the default
+	// schedule τ_k = 0.2 + 0.6·k/L. When set, it must hold PyramidLevels-1
+	// ascending values in (0, 1).
+	RefineOverflow []float64
 	// TargetDensity is the placement target density in (0, 1].
 	TargetDensity float64
 	// MaxIters bounds the Nesterov iterations.
@@ -95,6 +126,55 @@ func DefaultConfig() Config {
 		LambdaMu:      1.05,
 		UseFillers:    true,
 	}
+}
+
+// validGridDim reports whether m is an acceptable density-grid dimension:
+// a power of two no smaller than MinGridDim.
+func validGridDim(m int) bool {
+	return m >= MinGridDim && m&(m-1) == 0
+}
+
+// Validate checks the configuration's structural constraints and returns a
+// *ConfigError naming the first violated field, or nil. Zero GridM/GridN
+// are valid (automatic selection); New / NewChecked validate again after
+// resolving the automatic values.
+func (cfg *Config) Validate() error {
+	if cfg.TargetDensity <= 0 || cfg.TargetDensity > 1 {
+		return &ConfigError{Field: "TargetDensity",
+			Reason: fmt.Sprintf("%v out of (0, 1]", cfg.TargetDensity)}
+	}
+	if cfg.GridM != 0 && !validGridDim(cfg.GridM) {
+		return &ConfigError{Field: "GridM",
+			Reason: fmt.Sprintf("%d is not a power of two >= %d", cfg.GridM, MinGridDim)}
+	}
+	if cfg.GridN != 0 && !validGridDim(cfg.GridN) {
+		return &ConfigError{Field: "GridN",
+			Reason: fmt.Sprintf("%d is not a power of two >= %d", cfg.GridN, MinGridDim)}
+	}
+	if cfg.PyramidLevels < 0 {
+		return &ConfigError{Field: "PyramidLevels",
+			Reason: fmt.Sprintf("%d is negative", cfg.PyramidLevels)}
+	}
+	if len(cfg.RefineOverflow) > 0 {
+		if cfg.PyramidLevels <= 1 {
+			return &ConfigError{Field: "RefineOverflow",
+				Reason: "set without PyramidLevels > 1"}
+		}
+		if len(cfg.RefineOverflow) != cfg.PyramidLevels-1 {
+			return &ConfigError{Field: "RefineOverflow",
+				Reason: fmt.Sprintf("%d thresholds for %d refinements",
+					len(cfg.RefineOverflow), cfg.PyramidLevels-1)}
+		}
+		prev := 0.0
+		for i, v := range cfg.RefineOverflow {
+			if v <= 0 || v >= 1 || v <= prev {
+				return &ConfigError{Field: "RefineOverflow",
+					Reason: fmt.Sprintf("threshold [%d]=%v must be in (0,1) and ascending", i, v)}
+			}
+			prev = v
+		}
+	}
+	return nil
 }
 
 // Hook is the routability-optimizer callback invoked once per iteration
@@ -178,8 +258,9 @@ type Placer struct {
 	D   *netlist.Design
 	Cfg Config
 
-	movable []int // movable cell IDs
-	grid    *density.Grid
+	movable []int          // movable cell IDs
+	den     density.Solver // pyramid (PyramidLevels > 1) or single grid
+	g       *density.Grid  // cached den.Active(), refreshed on refinement
 	wl      *wirelength.Model
 
 	// fillers
@@ -214,40 +295,62 @@ type Placer struct {
 	wallWL, wallRaster, wallSolve, wallForce time.Duration
 }
 
-// New builds a placer for d. The initial placement gathers movable cells
-// near the region center with deterministic jitter.
+// New builds a placer for d, panicking on an invalid configuration. The
+// initial placement gathers movable cells near the region center with
+// deterministic jitter.
 func New(d *netlist.Design, cfg Config) *Placer {
-	if cfg.TargetDensity <= 0 || cfg.TargetDensity > 1 {
-		panic(fmt.Sprintf("place: target density %v out of (0,1]", cfg.TargetDensity))
+	p, err := NewChecked(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewChecked is New returning configuration problems as a *ConfigError
+// instead of panicking — the form pipeline stages and services use, so a
+// bad grid size is rejected at normalization rather than detonating inside
+// the spectral setup.
+func NewChecked(d *netlist.Design, cfg Config) (*Placer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	p := &Placer{D: d, Cfg: cfg, movable: d.MovableIDs()}
 	n := len(p.movable)
 	if n == 0 {
-		return p
+		return p, nil
 	}
 
 	if cfg.GridM == 0 {
 		g := geom.NextPow2(int(math.Sqrt(float64(n))))
-		cfg.GridM = geom.ClampInt(g, 16, 512)
+		cfg.GridM = geom.ClampInt(g, MinGridDim, 512)
 	}
 	if cfg.GridN == 0 {
 		cfg.GridN = cfg.GridM
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	p.Cfg = cfg
 
-	p.grid = density.NewGrid(d.Region, cfg.GridM, cfg.GridN)
+	if cfg.PyramidLevels > 1 {
+		p.den = density.NewPyramid(d.Region, cfg.GridM, cfg.GridN, cfg.PyramidLevels)
+	} else {
+		p.den = density.NewGrid(d.Region, cfg.GridM, cfg.GridN)
+	}
+	p.g = p.den.Active()
 	for i := range d.Cells {
 		if d.Cells[i].Fixed {
-			p.grid.AddFixedRect(d.Cells[i].Rect(), 1)
+			p.den.AddFixedRect(d.Cells[i].Rect(), 1)
 		}
 	}
-	p.binBase = (p.grid.BinW + p.grid.BinH) / 2
+	fine := p.den.Finest()
+	p.binBase = (fine.BinW + fine.BinH) / 2
 	p.wl = wirelength.New(d, 8*p.binBase)
 	p.wl.Kind = cfg.WLModel
 	p.gradWx = make([]float64, len(d.Cells))
 	p.gradWy = make([]float64, len(d.Cells))
 	p.workers = par.Workers(cfg.Workers)
-	p.grid.SetWorkers(cfg.Workers)
+	p.den.SetWorkers(cfg.Workers)
 	p.wl.SetWorkers(cfg.Workers)
 
 	// Fillers: fill target whitespace with average-size dummy cells.
@@ -299,7 +402,7 @@ func New(d *netlist.Design, cfg Config) *Placer {
 	p.opt.MaxBacktrack = 1
 	p.opt.SetWorkers(cfg.Workers)
 	p.projectFn = p.project
-	return p
+	return p, nil
 }
 
 // Workers reports the engine's resolved worker cap.
@@ -327,7 +430,7 @@ func (p *Placer) bindStages() {
 		for k := lo; k < hi; k++ {
 			ci := p.movable[k]
 			c := &d.Cells[ci]
-			fx, fy := p.grid.ForceOnRect(c.PaddedRect())
+			fx, fy := p.g.ForceOnRect(c.PaddedRect())
 			gx := p.gradWx[ci] - lambda*fx
 			gy := p.gradWy[ci] - lambda*fy
 			// Preconditioner: pin count + λ·charge, per ePlace.
@@ -348,7 +451,7 @@ func (p *Placer) bindStages() {
 				grad[off+nm+f] = 0
 				continue
 			}
-			fx, fy := p.grid.ForceOnRect(p.fillerRect(x[nm+f], x[off+nm+f]))
+			fx, fy := p.g.ForceOnRect(p.fillerRect(x[nm+f], x[off+nm+f]))
 			h := math.Max(1, lambda*fillerQ)
 			grad[nm+f] = -lambda * fx / h
 			grad[off+nm+f] = -lambda * fy / h
@@ -356,8 +459,22 @@ func (p *Placer) bindStages() {
 	}
 }
 
-// Grid exposes the density grid (used by tests and experiments).
-func (p *Placer) Grid() *density.Grid { return p.grid }
+// Grid exposes the ACTIVE density grid (used by tests and experiments);
+// with a pyramid it changes identity as the engine refines.
+func (p *Placer) Grid() *density.Grid { return p.g }
+
+// Solver exposes the density solver driving the engine (a *density.Grid or
+// *density.Pyramid).
+func (p *Placer) Solver() density.Solver { return p.den }
+
+// Level reports the active density-grid level: 0 is the finest (the only
+// level without a pyramid), Levels-1 the coarsest.
+func (p *Placer) Level() int {
+	if p.den == nil {
+		return 0
+	}
+	return p.den.Level()
+}
 
 // writePositions scatters the movable-cell portion of vector x into the
 // design as cell centers.
@@ -405,11 +522,11 @@ func (p *Placer) eval(x, grad []float64) {
 
 	t = time.Now()
 	p.buildRects(x, p.activeFill)
-	p.grid.DepositRects(p.rects)
+	p.g.DepositRects(p.rects)
 	p.wallRaster += time.Since(t)
 
 	t = time.Now()
-	p.grid.Solve()
+	p.g.Solve()
 	p.wallSolve += time.Since(t)
 
 	t = time.Now()
@@ -445,8 +562,8 @@ func (p *Placer) computeOverflow() float64 {
 	x := p.opt.Current()
 	p.writePositions(x)
 	p.buildRects(x, 0) // movables only: fillers are not congestion
-	p.grid.DepositRects(p.rects)
-	return p.grid.Overflow(p.Cfg.TargetDensity, p.D.TotalMovableArea()+p.D.TotalPaddingArea())
+	p.g.DepositRects(p.rects)
+	return p.g.Overflow(p.Cfg.TargetDensity, p.D.TotalMovableArea()+p.D.TotalPaddingArea())
 }
 
 // updateGamma applies the ePlace γ schedule: smooth when overflow is high,
@@ -466,13 +583,13 @@ func (p *Placer) initLambda() {
 	p.wl.Gamma = p.gamma
 	p.wl.WirelengthAndGrad(p.gradWx, p.gradWy)
 	p.buildRects(x, p.activeFill)
-	p.grid.DepositRects(p.rects)
-	p.grid.Solve()
+	p.g.DepositRects(p.rects)
+	p.g.Solve()
 
 	sumW, sumD := 0.0, 0.0
 	for _, ci := range p.movable {
 		c := &p.D.Cells[ci]
-		fx, fy := p.grid.ForceOnRect(c.PaddedRect())
+		fx, fy := p.g.ForceOnRect(c.PaddedRect())
 		sumW += math.Abs(p.gradWx[ci]) + math.Abs(p.gradWy[ci])
 		sumD += math.Abs(fx) + math.Abs(fy)
 	}
@@ -481,6 +598,35 @@ func (p *Placer) initLambda() {
 	} else {
 		p.lambda = 1
 	}
+}
+
+// refineThreshold returns the overflow below which the engine leaves level
+// lvl (≥ 1) for the next finer grid: the caller-specified schedule when
+// set, otherwise the default τ_k = 0.2 + 0.6·k/L. The clamped pyramid may
+// hold fewer levels than Config.PyramidLevels requested; indexing is by
+// actual level.
+func (p *Placer) refineThreshold(lvl int) float64 {
+	if i := lvl - 1; i < len(p.Cfg.RefineOverflow) {
+		return p.Cfg.RefineOverflow[i]
+	}
+	return 0.2 + 0.6*float64(lvl)/float64(p.den.Levels())
+}
+
+// refine switches the density solver to the next finer level and re-anchors
+// the optimization on the new landscape: λ is re-balanced against the new
+// grid's forces, and the Nesterov state restarts with the step length
+// rescaled by the bin-size ratio so the first fine-level step is neither
+// a coarse-scale overshoot nor a from-scratch crawl.
+func (p *Placer) refine() bool {
+	old := p.g
+	if !p.den.Refine() {
+		return false
+	}
+	p.g = p.den.Active()
+	scale := (p.g.BinW + p.g.BinH) / (old.BinW + old.BinH)
+	p.initLambda()
+	p.opt.RestartScaled(scale)
+	return true
 }
 
 // retireFillers deactivates fillers to offset padArea of newly added cell
@@ -532,6 +678,10 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 	gPhaseRaster := rec.Gauge("place.phase.raster_ms")
 	gPhaseSolve := rec.Gauge("place.phase.solve_ms")
 	gPhaseForce := rec.Gauge("place.phase.force_ms")
+	gDenAnalysis := rec.Gauge("place.phase.density_analysis_ms")
+	gDenSolve := rec.Gauge("place.phase.density_solve_ms")
+	gDenSynth := rec.Gauge("place.phase.density_synthesis_ms")
+	gGridLevel := rec.Gauge("place.grid_level")
 	span, ctx := obs.Start(ctx, rec, "place.gp")
 	defer func() {
 		span.SetArg("workers", p.workers)
@@ -540,6 +690,8 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 		span.SetArg("raster_ms", p.wallRaster.Seconds()*1e3)
 		span.SetArg("solve_ms", p.wallSolve.Seconds()*1e3)
 		span.SetArg("force_ms", p.wallForce.Seconds()*1e3)
+		span.SetArg("density_solves", p.den.Solves())
+		span.SetArg("density_solve_skips", p.den.SolveSkips())
 		span.End()
 	}()
 	flushPhases := func() {
@@ -547,6 +699,13 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 		gPhaseRaster.Set(p.wallRaster.Seconds() * 1e3)
 		gPhaseSolve.Set(p.wallSolve.Seconds() * 1e3)
 		gPhaseForce.Set(p.wallForce.Seconds() * 1e3)
+		// The spectral solve split by phase, from the solver's own clocks
+		// (sums every pyramid level), plus the active level.
+		da, df, ds := p.den.PhaseWalls()
+		gDenAnalysis.Set(da.Seconds() * 1e3)
+		gDenSolve.Set(df.Seconds() * 1e3)
+		gDenSynth.Set(ds.Seconds() * 1e3)
+		gGridLevel.Set(float64(p.den.Level()))
 	}
 
 	ring := newTraceRing(p.Cfg.TraceCap)
@@ -568,6 +727,17 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 			return res, err
 		}
 		p.overflow = p.computeOverflow()
+		// Pyramid refinement: once the coarse landscape has spread the
+		// cells below the level's threshold, move one level finer and
+		// re-measure there (overflow on a finer grid is sharper, so the
+		// check re-runs next iteration rather than cascading levels on a
+		// stale value).
+		if lvl := p.den.Level(); lvl > 0 && p.overflow <= p.refineThreshold(lvl) {
+			p.refine()
+			p.overflow = p.computeOverflow()
+			bestOverflow = math.Inf(1)
+			bestIter = iter
+		}
 		p.updateGamma()
 
 		padded := false
@@ -604,18 +774,28 @@ func (p *Placer) RunCtx(ctx context.Context, hook Hook) (*Result, error) {
 		flushPhases()
 		res.Iters = iter
 
-		if iter >= p.Cfg.MinIters && p.overflow <= p.Cfg.StopOverflow {
+		// Convergence checks only apply at the finest level: a coarse
+		// level's overflow is not the final metric.
+		if iter >= p.Cfg.MinIters && p.overflow <= p.Cfg.StopOverflow && p.den.Level() == 0 {
 			break
 		}
 		// Plateau detection: padding can make StopOverflow unreachable;
 		// once overflow stops improving, more iterations only let λ
-		// compound and shred the wirelength.
+		// compound and shred the wirelength. On a coarse level a plateau
+		// means the threshold is unreachable there — refine instead of
+		// giving up.
 		if p.overflow < bestOverflow*0.999 {
 			bestOverflow = p.overflow
 			bestIter = iter
 		}
 		if p.Cfg.PlateauIters > 0 && iter >= p.Cfg.MinIters && iter-bestIter >= p.Cfg.PlateauIters {
-			break
+			if p.den.Level() == 0 {
+				break
+			}
+			p.refine()
+			p.overflow = p.computeOverflow()
+			bestOverflow = math.Inf(1)
+			bestIter = iter
 		}
 		p.opt.Step(p.projectFn)
 

@@ -1,0 +1,108 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"puffer/internal/place"
+	"puffer/pipeline"
+)
+
+// TestCheckpointGridLevelRoundTrip checks the active-level field survives
+// the JSON round trip and that a negative level is rejected as corrupt.
+func TestCheckpointGridLevelRoundTrip(t *testing.T) {
+	d := stressedDesign(t)
+	cp := pipeline.Capture(pipeline.StagePlace, d)
+	cp.GridLevel = 2
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pipeline.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GridLevel != 2 {
+		t.Errorf("GridLevel after round trip = %d, want 2", loaded.GridLevel)
+	}
+
+	cp.GridLevel = -1
+	if err := cp.Validate(); err == nil {
+		t.Error("Validate accepted a negative grid level")
+	}
+}
+
+// TestPyramidCheckpointResumeReproducesHPWL is the acceptance check for the
+// multi-resolution flow: a pyramid-enabled run checkpointed after the
+// placement stage, then resumed into the remaining stages, reproduces the
+// uninterrupted run's final HPWL exactly — with the checkpoint recording
+// the active grid level.
+func TestPyramidCheckpointResumeReproducesHPWL(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Place.PyramidLevels = 2
+
+	d1 := stressedDesign(t)
+	rc1, err := pipeline.NewRunContext(d1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := pipeline.New()
+	var placeCP *pipeline.Checkpoint
+	pl.Checkpointer = func(cp *pipeline.Checkpoint) error {
+		if cp.Stage == pipeline.StagePlace {
+			placeCP = cp
+		}
+		return nil
+	}
+	if err := pl.Run(context.Background(), rc1); err != nil {
+		t.Fatal(err)
+	}
+	want := rc1.Result.HPWL
+	if placeCP == nil {
+		t.Fatal("no checkpoint captured after the placement stage")
+	}
+	// The pyramid run converged, so the recorded active level is finest.
+	if placeCP.GridLevel != 0 {
+		t.Errorf("place checkpoint GridLevel = %d, want 0 (refined to finest)", placeCP.GridLevel)
+	}
+
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := placeCP.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pipeline.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := stressedDesign(t)
+	rc2, err := pipeline.NewRunContext(d2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipeline.New().Resume(context.Background(), rc2, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc2.Result.HPWL; got != want {
+		t.Errorf("pyramid resume HPWL %.6f, want %.6f (bit-exact)", got, want)
+	}
+}
+
+// TestPipelineRejectsBadGridConfig checks the satellite contract end to
+// end: an invalid grid dimension surfaces from the placement stage as a
+// typed *place.ConfigError instead of a panic.
+func TestPipelineRejectsBadGridConfig(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Place.GridM = 48 // not a power of two
+	d := stressedDesign(t)
+	rc, err := pipeline.NewRunContext(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = pipeline.New().Run(context.Background(), rc)
+	var ce *place.ConfigError
+	if !errors.As(err, &ce) || ce.Field != "GridM" {
+		t.Errorf("pipeline error = %v, want *place.ConfigError on GridM", err)
+	}
+}

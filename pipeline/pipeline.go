@@ -159,6 +159,7 @@ type RunContext struct {
 	opt        *padding.Optimizer
 	stageIters int
 	estStats   *cong.Stats
+	gridLevel  int
 }
 
 // NewRunContext validates d and builds the shared context for one run.
@@ -204,6 +205,12 @@ func (rc *RunContext) Logf(format string, args ...any) {
 // SetIters reports the running stage's iteration count; the pipeline
 // copies it into the stage's StageStats when the stage returns.
 func (rc *RunContext) SetIters(n int) { rc.stageIters = n }
+
+// SetGridLevel records the density solver's active pyramid level (0 =
+// finest); the pipeline stamps it into every subsequent checkpoint so a
+// resume restores the same density resolution. The placement stage calls
+// it when it finishes.
+func (rc *RunContext) SetGridLevel(lvl int) { rc.gridLevel = lvl }
 
 // SetEstimatorStats attaches a congestion-engine statistics snapshot to
 // the running stage; the pipeline copies it into the stage's StageStats

@@ -47,7 +47,10 @@ func GlobalPlace() Stage {
 	return StageFunc{StageName: StagePlace, Fn: func(ctx context.Context, rc *RunContext) error {
 		rc.Logf("stage: global placement (engine=ePlace/Nesterov, grid auto)")
 		opt := rc.PadOptimizer()
-		placer := place.New(rc.Design, rc.Cfg.Place)
+		placer, err := place.NewChecked(rc.Design, rc.Cfg.Place)
+		if err != nil {
+			return err
+		}
 		var hookErr error
 		hook := place.HookFunc(func(iter int, overflow float64) bool {
 			if hookErr != nil || !opt.ShouldTrigger(iter, overflow) {
@@ -69,6 +72,7 @@ func GlobalPlace() Stage {
 		gp, err := placer.RunCtx(ctx, hook)
 		rc.Result.GP = *gp
 		rc.SetIters(gp.Iters)
+		rc.SetGridLevel(placer.Level())
 		if opt.Iter() > 0 {
 			rc.SetEstimatorStats(opt.Estimator().Stats())
 		}
