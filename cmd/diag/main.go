@@ -9,7 +9,10 @@
 //   - -ckpt checkpoint.json: validate and summarize a stage-boundary
 //     checkpoint (cmd/puffer -checkpoint, or a pufferd job spool) — stage
 //     name,
-//     cell/net counts, and the bounding box of the stored positions.
+//     cell/net counts, and the bounding box of the stored positions;
+//   - -session snapshot.json: validate and summarize a spooled ECO session
+//     snapshot (a pufferd session spool) — design hash, delta count,
+//     congestion-engine statistics, last HPWL/overflow, and the warm grid.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"puffer"
 	"puffer/internal/baseline"
+	"puffer/internal/eco"
 	"puffer/internal/obs"
 	"puffer/internal/router"
 	"puffer/internal/synth"
@@ -35,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	reportPath := flag.String("report", "", "summarize this run report (JSON from cmd/puffer -report) instead of running comparisons")
 	ckptPath := flag.String("ckpt", "", "validate and summarize this pipeline checkpoint instead of running comparisons")
+	sessionPath := flag.String("session", "", "validate and summarize this ECO session snapshot instead of running comparisons")
 	flag.Parse()
 
 	if *reportPath != "" {
@@ -45,6 +50,12 @@ func main() {
 	}
 	if *ckptPath != "" {
 		if err := summarizeCheckpoint(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *sessionPath != "" {
+		if err := summarizeSession(*sessionPath); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -212,6 +223,44 @@ func summarizeCheckpoint(path string) error {
 		}
 	}
 	fmt.Printf("reweighted nets: %d\n", reweighted)
+	return nil
+}
+
+// summarizeSession validates a spooled ECO session snapshot and prints
+// what a rehydrated session would see: the design identity hash, how far
+// the delta chain has come, the congestion-engine statistics of the last
+// run, and the embedded placement checkpoint's headline numbers.
+func summarizeSession(path string) error {
+	sn, err := eco.LoadSnapshot(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session snapshot %s (%s)\n", path, sn.Format)
+	fmt.Printf("design hash: %s\n", sn.DesignHash)
+	fmt.Printf("deltas applied: %d\n", sn.Deltas)
+	fmt.Printf("last hpwl: %.2f  last overflow: %.4f\n", sn.LastHPWL, sn.LastOverflow)
+	fmt.Printf("grid: level %d", sn.GridLevel)
+	if sn.GridM > 0 {
+		fmt.Printf(", warm density grid %dx%d", sn.GridM, sn.GridN)
+	}
+	fmt.Println()
+	if sn.EstCalls > 0 {
+		fmt.Printf("estimator: %d calls, %d full rebuilds, %d dirty nets last, hit rate %.2f\n",
+			sn.EstCalls, sn.EstRebuilds, sn.EstDirtyNets, sn.EstHitRate)
+	}
+	cp := sn.Checkpoint
+	fmt.Printf("checkpoint: stage %s, %d cells, %d nets\n", cp.Stage, len(cp.X), len(cp.NetWeight))
+	var padded int
+	var padTotal float64
+	for i := range cp.X {
+		if cp.PadW[i] > 0 {
+			padded++
+			padTotal += cp.PadW[i]
+		}
+	}
+	fmt.Printf("padded cells: %d (total pad width %.2f)\n", padded, padTotal)
+	fmt.Printf("padding history: iter %d, %d trigger times, last util %.4f\n",
+		sn.Padding.Iter, len(sn.Padding.PadTimes), sn.Padding.LastUtil)
 	return nil
 }
 

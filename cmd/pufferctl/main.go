@@ -14,6 +14,10 @@
 //	cancel   cancel a queued or running job
 //	list     list all jobs the daemon knows
 //	wait     poll until a job reaches a terminal state
+//	session  interactive ECO sessions: open | delta | status | watch | close | list
+//
+// submit honors the daemon's backpressure: with -retry N, a 429 response
+// is retried up to N times after the server's Retry-After hint.
 //
 // The daemon address can also come from the PUFFERD_ADDR environment
 // variable. Exit status is non-zero when the addressed job failed.
@@ -21,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -37,7 +43,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait} ...")
+		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait|session} ...")
 		os.Exit(2)
 	}
 	c := &client{base: strings.TrimSuffix(*addr, "/")}
@@ -59,6 +65,8 @@ func main() {
 		err = c.list()
 	case "wait":
 		err = c.wait(rest)
+	case "session":
+		err = c.session(rest)
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -105,6 +113,7 @@ func (c *client) submit(args []string) error {
 		budget   = fs.Int("budget", 0, "exploration trial budget (explore jobs)")
 		timeout  = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		watch    = fs.Bool("watch", false, "stream progress until the job finishes")
+		retry    = fs.Int("retry", 0, "retry a full queue up to N times, honoring Retry-After")
 	)
 	fs.Parse(args)
 
@@ -143,7 +152,7 @@ func (c *client) submit(args []string) error {
 	}
 
 	body, _ := json.Marshal(spec)
-	resp, err := http.Post(c.base+"/api/v1/jobs", "application/json", strings.NewReader(string(body)))
+	resp, err := c.postWithRetry(c.base+"/api/v1/jobs", body, *retry)
 	if err != nil {
 		return err
 	}
@@ -164,6 +173,35 @@ func (c *client) submit(args []string) error {
 		return c.streamEvents(m.ID)
 	}
 	return nil
+}
+
+// postWithRetry posts body to url; a 429 response is retried up to retries
+// times, sleeping out the server's Retry-After hint (a bounded default
+// when the header is absent or unparsable). Any other response — success
+// or failure — returns immediately.
+func (c *client) postWithRetry(url string, body []byte, retries int) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
+			return resp, nil
+		}
+		wait := 2 * time.Second
+		if ra := strings.TrimSpace(resp.Header.Get("Retry-After")); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		if wait < time.Second {
+			wait = time.Second
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		fmt.Fprintf(os.Stderr, "pufferctl: queue full; retry %d/%d in %s\n", attempt+1, retries, wait)
+		time.Sleep(wait)
+	}
 }
 
 // inlineBookshelf reads an .aux file and every sibling file it references,
@@ -310,10 +348,15 @@ func (c *client) watch(args []string) error {
 	return c.streamEvents(args[0])
 }
 
-// streamEvents consumes the job's SSE stream, rendering progress lines
+// streamEvents consumes a job's SSE stream, rendering progress lines
 // until the stream ends; the final state decides the error.
 func (c *client) streamEvents(id string) error {
-	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/events")
+	return c.streamEventsURL(c.base+"/api/v1/jobs/"+id+"/events", id)
+}
+
+// streamEventsURL consumes any SSE progress stream (job or session).
+func (c *client) streamEventsURL(url, id string) error {
+	resp, err := http.Get(url)
 	if err != nil {
 		return err
 	}
@@ -362,14 +405,252 @@ func (c *client) streamEvents(id string) error {
 		return fmt.Errorf("stream: %w", err)
 	}
 	switch finalState {
-	case "done", "":
+	case "done", "open", "closed", "":
 		return nil
 	case "parked", "queued":
-		fmt.Println("job interrupted; it will resume when the daemon restarts")
+		fmt.Println("interrupted; it will resume when the daemon restarts")
 		return nil
 	default:
-		return fmt.Errorf("job %s %s: %s", id, finalState, finalErr)
+		return fmt.Errorf("%s %s: %s", id, finalState, finalErr)
 	}
+}
+
+// session dispatches the interactive ECO session subcommands.
+func (c *client) session(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pufferctl session {open|delta|status|watch|close|list} ...")
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "open":
+		return c.sessionOpen(rest)
+	case "delta":
+		return c.sessionDelta(rest)
+	case "status":
+		return c.getJSON(rest, "session status <id>", "/api/v1/sessions/%s")
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: pufferctl session watch <id>")
+		}
+		return c.streamEventsURL(c.base+"/api/v1/sessions/"+rest[0]+"/events", rest[0])
+	case "close":
+		return c.sessionClose(rest)
+	case "list":
+		return c.sessionList()
+	default:
+		return fmt.Errorf("unknown session command %q", cmd)
+	}
+}
+
+// sessionOpen opens an ECO session and, by default, waits for its base
+// placement before returning the session ID on stdout.
+func (c *client) sessionOpen(args []string) error {
+	fs := flag.NewFlagSet("session open", flag.ExitOnError)
+	var (
+		profile  = fs.String("profile", "", "synthetic benchmark profile name")
+		scale    = fs.Int("scale", 800, "profile scale divisor")
+		seed     = fs.Int64("seed", 1, "random seed")
+		aux      = fs.String("aux", "", "Bookshelf .aux file to upload (with its sibling files)")
+		iters    = fs.Int("iters", 0, "max cold global placement iterations (0 = default)")
+		workers  = fs.Int("workers", 0, "cap session parallelism (0 = GOMAXPROCS)")
+		strategy = fs.String("strategy", "", "JSON strategy file (cmd/explore -out format)")
+		warmMax  = fs.Int("warm-iters", 0, "max warm re-place iterations per delta (0 = derived)")
+		nowait   = fs.Bool("nowait", false, "return after admission without waiting for the base placement")
+		timeout  = fs.Duration("timeout", 10*time.Minute, "give up waiting for the base placement after this long")
+	)
+	fs.Parse(args)
+
+	spec := map[string]any{"scale": *scale, "seed": *seed}
+	if *profile != "" {
+		spec["profile"] = *profile
+	}
+	if *aux != "" {
+		files, err := inlineBookshelf(*aux)
+		if err != nil {
+			return err
+		}
+		spec["bookshelf"] = files
+	}
+	if *iters > 0 {
+		spec["max_iters"] = *iters
+	}
+	if *workers > 0 {
+		spec["workers"] = *workers
+	}
+	if *warmMax > 0 {
+		spec["warm_max_iters"] = *warmMax
+	}
+	if *strategy != "" {
+		data, err := os.ReadFile(*strategy)
+		if err != nil {
+			return err
+		}
+		spec["strategy"] = json.RawMessage(data)
+	}
+
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(c.base+"/api/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var m struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	fmt.Printf("session %s %s\n", m.ID, m.State)
+	if *nowait {
+		return nil
+	}
+	deadline := time.Now().Add(*timeout)
+	for {
+		st, errMsg, hpwl, err := c.sessionState(m.ID)
+		if err != nil {
+			return err
+		}
+		switch st {
+		case "open":
+			fmt.Printf("session %s open hpwl=%.0f\n", m.ID, hpwl)
+			return nil
+		case "failed", "closed":
+			return fmt.Errorf("session %s %s: %s", m.ID, st, errMsg)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("session %s still %s after %s", m.ID, st, *timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// sessionState fetches one session's durable state.
+func (c *client) sessionState(id string) (state, errMsg string, hpwl float64, err error) {
+	resp, err := http.Get(c.base + "/api/v1/sessions/" + id)
+	if err != nil {
+		return "", "", 0, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return "", "", 0, err
+	}
+	var m struct {
+		State    string  `json:"state"`
+		Error    string  `json:"error"`
+		LastHPWL float64 `json:"last_hpwl"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&m); derr != nil {
+		return "", "", 0, derr
+	}
+	return m.State, m.Error, m.LastHPWL, nil
+}
+
+// sessionDelta applies a delta document (a file path, or "-" for stdin)
+// and prints the new placement summary.
+func (c *client) sessionDelta(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: pufferctl session delta <id> <delta.json|->")
+	}
+	id, src := args[0], args[1]
+	var (
+		data []byte
+		err  error
+	)
+	if src == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(c.base+"/api/v1/sessions/"+id+"/deltas", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var dr struct {
+		Deltas     int     `json:"deltas"`
+		HPWL       float64 `json:"hpwl"`
+		GPIters    int     `json:"gp_iters"`
+		RuntimeMS  float64 `json:"runtime_ms"`
+		Rehydrated bool    `json:"rehydrated"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	note := ""
+	if dr.Rehydrated {
+		note = " (rehydrated)"
+	}
+	fmt.Printf("delta %d applied: hpwl=%.0f gp_iters=%d %.0fms%s\n",
+		dr.Deltas, dr.HPWL, dr.GPIters, dr.RuntimeMS, note)
+	return nil
+}
+
+func (c *client) sessionClose(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pufferctl session close <id>")
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/api/v1/sessions/"+args[0], nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func (c *client) sessionList() error {
+	resp, err := http.Get(c.base + "/api/v1/sessions")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var rows []struct {
+		ID       string  `json:"id"`
+		Design   string  `json:"design"`
+		State    string  `json:"state"`
+		Deltas   int     `json:"deltas"`
+		LastHPWL float64 `json:"last_hpwl"`
+		Warm     bool    `json:"warm"`
+		Error    string  `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %-16s %-8s %6s %5s  %s\n", "ID", "DESIGN", "STATE", "DELTAS", "WARM", "HPWL/ERROR")
+	for _, r := range rows {
+		detail := ""
+		if r.LastHPWL > 0 {
+			detail = fmt.Sprintf("%.0f", r.LastHPWL)
+		}
+		if r.Error != "" {
+			detail = r.Error
+		}
+		warm := "no"
+		if r.Warm {
+			warm = "yes"
+		}
+		fmt.Printf("%-14s %-16s %-8s %6d %5s  %s\n", r.ID, r.Design, r.State, r.Deltas, warm, detail)
+	}
+	return nil
 }
 
 func (c *client) wait(args []string) error {

@@ -9,10 +9,17 @@
 //
 //	pufferd -addr :8080 -spool /var/lib/pufferd -workers 4 -queue 32
 //
+// Besides one-shot jobs, the daemon serves interactive ECO sessions under
+// /api/v1/sessions: open a design once (cold place), then stream small
+// deltas against the warm engine state — each re-places in a fraction of
+// the cold wall. Session warm state idle longer than -session-idle is
+// evicted (the spooled snapshot remains; the next delta rehydrates it).
+//
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
 // (submissions get 503), cancels running jobs so they park at their last
-// checkpoint, and exits once the pool is idle or -drain-timeout expires.
-// Submit and watch jobs with cmd/pufferctl.
+// checkpoint, parks open ECO sessions at their last applied delta, and
+// exits once the pool is idle or -drain-timeout expires. Submit and watch
+// jobs with cmd/pufferctl.
 package main
 
 import (
@@ -38,6 +45,7 @@ func main() {
 		queueCap     = flag.Int("queue", 16, "admission queue capacity (excess submissions get 429 + Retry-After)")
 		workers      = flag.Int("workers", 2, "job worker pool size")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline for jobs that set none (0 = none)")
+		sessionIdle  = flag.Duration("session-idle", 15*time.Minute, "evict an ECO session's in-memory warm state after this idle time (snapshot stays; 0 = never)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long to wait for running jobs to park on shutdown")
 		verbose      = flag.Bool("v", true, "log job lifecycle events")
 	)
@@ -52,6 +60,7 @@ func main() {
 		QueueCap:          *queueCap,
 		Workers:           *workers,
 		DefaultJobTimeout: *jobTimeout,
+		SessionIdle:       *sessionIdle,
 		Logf:              logf,
 	})
 	if err != nil {
@@ -59,6 +68,9 @@ func main() {
 	}
 	if srv.Recovered > 0 {
 		log.Printf("pufferd: re-admitted %d interrupted job(s) from %s", srv.Recovered, *spool)
+	}
+	if srv.RecoveredSessions > 0 {
+		log.Printf("pufferd: parked %d ECO session(s); the next delta rehydrates them", srv.RecoveredSessions)
 	}
 	srv.Start()
 

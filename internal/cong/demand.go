@@ -28,9 +28,11 @@ type Params struct {
 	CongestThreshold float64
 
 	// Workers caps the estimator's data parallelism (0 = GOMAXPROCS).
-	// Results are deterministic for a fixed worker count: nets and pins
-	// are sharded statically and per-worker accumulators merge in shard
-	// order.
+	// Results never depend on it: nets and pins are sharded statically by
+	// design size, per-shard accumulators merge in fixed shard order, and
+	// Workers only bounds how many shards run concurrently — the same
+	// any-worker-count bit-determinism contract the GP inner loop keeps
+	// (DESIGN.md §3e).
 	Workers int
 	// RebuildEvery forces a full from-scratch re-estimation every this
 	// many Estimate calls, bounding the floating-point drift the

@@ -21,9 +21,11 @@ import (
 //     positions; sub-Gcell motion leaves a net clean.
 //   - Full rebuilds (first call, forced, parameter/design changes, the
 //     periodic drift-bounding rebuild, or a dirty-majority escalation)
-//     shard pins and nets statically across workers with per-shard demand
-//     accumulators, merged per Gcell in fixed shard order — deterministic
-//     for a fixed worker count.
+//     shard pins and nets statically with per-shard demand accumulators,
+//     merged per Gcell in fixed shard order. The shard count is a function
+//     of the design size alone (never of Params.Workers, which only caps
+//     concurrency), so the result is bit-deterministic for any worker
+//     count.
 //   - The detour expansion stays order-dependent and global, so it is
 //     recomputed each Estimate from the journaled base demand rather than
 //     journaled itself; its cost is bounded by the overflow bitsets in
@@ -152,9 +154,20 @@ func (e *Estimator) rebuildEvery() int {
 // hosts do not trade hundreds of megabytes for the parallel merge.
 const maxRebuildShards = 16
 
-// shards picks the deterministic static shard count for n items.
-func (e *Estimator) shards(n int) int {
-	w := par.Workers(e.P.Workers)
+// rebuildShardGrain is the minimum number of work items (pins or nets) per
+// rebuild shard. Together with maxRebuildShards it fixes the shard count as
+// a function of the design size alone — never of Params.Workers — so shard
+// boundaries, and therefore the order every floating-point sum is merged
+// in, are identical no matter how many goroutines execute the shards. This
+// is what extends the engine's determinism contract from "reproducible for
+// a fixed worker count" to "bit-identical for ANY worker count".
+const rebuildShardGrain = 192
+
+// shards picks the deterministic static shard count for n items. Workers
+// only bounds how many shards run concurrently (see the par.ForErrN
+// calls), not how the work is partitioned.
+func shards(n int) int {
+	w := n / rebuildShardGrain
 	if w > maxRebuildShards {
 		w = maxRebuildShards
 	}
@@ -224,7 +237,7 @@ func (e *Estimator) fullRebuild(ctx context.Context, reason string) error {
 	if nPins > work {
 		work = nPins
 	}
-	W := e.shards(work)
+	W := shards(work)
 	if len(e.accH) != W || (W > 0 && len(e.accH[0]) != size) {
 		e.accH = make([][]float64, W)
 		e.accV = make([][]float64, W)
@@ -240,7 +253,7 @@ func (e *Estimator) fullRebuild(ctx context.Context, reason string) error {
 	// fresh logical thread so trace viewers render them side by side.
 	parent := obs.FromContext(ctx)
 	tTopo := now()
-	err := par.ForErrN(ctx, W, W, func(w int) error {
+	err := par.ForErrN(ctx, e.P.Workers, W, func(w int) error {
 		wsp := parent.Fork("cong.rebuild.shard")
 		wsp.SetArg("shard", w)
 		defer wsp.End()
@@ -328,13 +341,13 @@ func (e *Estimator) fullRebuild(ctx context.Context, reason string) error {
 func (e *Estimator) incremental(ctx context.Context) error {
 	nPins := len(e.pinCell)
 	tPin := now()
-	S := e.shards(nPins)
+	S := shards(nPins)
 	if len(e.movedShards) != S {
 		e.movedShards = make([][]movedPin, S)
 	}
 	// The scan mutates nothing, so a cancel here leaves the engine fully
 	// consistent.
-	err := par.ForErrN(ctx, S, S, func(w int) error {
+	err := par.ForErrN(ctx, e.P.Workers, S, func(w int) error {
 		lo, hi := par.ShardRange(w, S, nPins)
 		mv := e.movedShards[w][:0]
 		for p := lo; p < hi; p++ {
@@ -387,8 +400,8 @@ func (e *Estimator) incremental(ctx context.Context) error {
 	applyWall := since(tApply)
 
 	tTopo := now()
-	S2 := e.shards(len(dirty))
-	err = par.ForErrN(ctx, S2, S2, func(w int) error {
+	S2 := shards(len(dirty))
+	err = par.ForErrN(ctx, e.P.Workers, S2, func(w int) error {
 		lo, hi := par.ShardRange(w, S2, len(dirty))
 		var pts []geom.Point
 		for k := lo; k < hi; k++ {

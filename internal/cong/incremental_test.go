@@ -421,3 +421,43 @@ func TestExpansionRadiusLargerThanGrid(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateDeterministicAcrossWorkers: the estimator's results are
+// bit-identical no matter how many workers execute them — the rebuild and
+// pin-scan shard counts depend on the design size alone, and Workers only
+// caps concurrency. This is the estimator's half of the any-worker-count
+// contract that Session.Apply (internal/eco) relies on: an interactive
+// delta re-placed at Workers=1 and at Workers=16 must land on the same
+// bits. The design is sized so the shard count actually exceeds one.
+func TestEstimateDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []float64 {
+		rng := rand.New(rand.NewSource(17))
+		d := randomDesign(rng, 400, 700)
+		p := Params{PinPenalty: 0.2, ExpandRadius: 3, TransferRatio: 0.5, RebuildEvery: 4, Workers: workers}
+		e := NewEstimator(d, 16, 16, p)
+		var out []float64
+		for step := 0; step < 10; step++ {
+			moveSomeCells(rng, d, 0.06)
+			if step == 7 {
+				e.ForceRebuild()
+			}
+			m := e.Estimate()
+			out = append(out, m.DmdH...)
+			out = append(out, m.DmdV...)
+			out = append(out, m.Pins...)
+		}
+		return out
+	}
+	if shards(700) <= 1 {
+		t.Fatal("test design too small: rebuild runs in one shard, proving nothing")
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("Workers=%d diverges from Workers=1 at %d: %v vs %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package eco
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseDeltaStrict(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring; empty = must parse
+	}{
+		{"bare object", `{"moves":[{"cell":0,"x":1,"y":2}]}`, ""},
+		{"with format", `{"format":"puffer/delta/v1","weights":[{"net":1,"weight":2}]}`, ""},
+		{"empty object", `{}`, ""},
+		{"foreign format", `{"format":"puffer/job/v1"}`, "format"},
+		{"unknown field", `{"movez":[]}`, "unknown field"},
+		{"trailing data", `{} {"moves":[]}`, "trailing"},
+		{"not an object", `[1,2,3]`, "decode"},
+		{"truncated", `{"moves":[{"cell":`, "decode"},
+		{"empty input", ``, "decode"},
+	}
+	for _, tc := range cases {
+		_, err := ParseDelta([]byte(tc.in))
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestDeltaValidateHostileValues(t *testing.T) {
+	d := testDesign(2000, 1)
+	bad := []*Delta{
+		{Moves: []CellMove{{Cell: -1, X: 1, Y: 1}}},
+		{Moves: []CellMove{{Cell: len(d.Cells), X: 1, Y: 1}}},
+		{Moves: []CellMove{{Cell: 0, X: math.Inf(1), Y: 1}}},
+		{Moves: []CellMove{{Cell: 0, X: d.Region.Hi.X * 100, Y: 1}}},
+		{Resizes: []CellResize{{Cell: 0, W: -3}}},
+		{Resizes: []CellResize{{Cell: 0}}},
+		{Weights: []NetReweight{{Net: -2, Weight: 1}}},
+		{Weights: []NetReweight{{Net: 0, Weight: -1}}},
+		{Padding: []PadOverride{{Cell: 1 << 40, PadW: 0}}},
+		{Padding: []PadOverride{{Cell: 0, PadW: -0.5}}},
+	}
+	for i, dl := range bad {
+		if err := dl.Validate(d); err == nil {
+			t.Errorf("case %d: hostile delta validated", i)
+		}
+	}
+}
+
+// FuzzParseDelta hammers the strict decoder with hostile documents: it
+// must never panic, and any delta it accepts must survive Validate against
+// a real design without panicking (Validate may reject it, of course).
+func FuzzParseDelta(f *testing.F) {
+	f.Add([]byte(`{"moves":[{"cell":0,"x":1,"y":2}]}`))
+	f.Add([]byte(`{"format":"puffer/delta/v1","resizes":[{"cell":3,"w":2.5}]}`))
+	f.Add([]byte(`{"weights":[{"net":0,"weight":1e308}],"padding":[{"cell":0,"pad_w":0}]}`))
+	f.Add([]byte(`{"moves":[{"cell":-1,"x":1e999,"y":-1e999}]}`))
+	f.Add([]byte(`{"moves":[{"cell":9007199254740993,"x":0,"y":0}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"moves":`))
+	d := testDesign(2000, 1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dl, err := ParseDelta(data)
+		if err != nil {
+			return
+		}
+		_ = dl.Validate(d)
+		_ = dl.Empty()
+		_ = dl.Size()
+	})
+}

@@ -9,6 +9,7 @@ package padding
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"puffer/internal/cong"
@@ -306,10 +307,15 @@ func (o *Optimizer) RunCtx(ctx context.Context) (RunInfo, error) {
 	}
 
 	// Utilization control (Eq. 16): linear ramp from PuLow to PuHigh over
-	// the ξ optimizer calls.
+	// the ξ optimizer calls, clamped at PuHigh — an ECO session drives
+	// RunCtx past MaxIters calls across deltas, and the ramp must saturate
+	// rather than extrapolate the budget open-endedly.
 	target := o.S.PuLow
 	if o.S.MaxIters > 1 {
 		target += float64(i-1) / float64(o.S.MaxIters-1) * (o.S.PuHigh - o.S.PuLow)
+	}
+	if target > o.S.PuHigh {
+		target = o.S.PuHigh
 	}
 	info.TargetUtil = target
 
@@ -374,3 +380,48 @@ func (o *Optimizer) Estimator() *cong.Estimator { return o.est }
 
 // PadTimes returns pt(c) for cell c.
 func (o *Optimizer) PadTimes(c int) int { return o.padTimes[c] }
+
+// ReArm readies a long-lived optimizer for the next ECO delta: the
+// GP-iteration cooldown anchor is cleared (warm re-placements restart
+// their iteration count at 1, so a stale absolute lastTrigger would block
+// in-loop triggering forever) and the free area is remeasured (a delta may
+// have resized fixed cells). Padding history — iter, pt(c), lastUtil — is
+// deliberately kept: Eq. 15 recycling depends on it.
+func (o *Optimizer) ReArm() {
+	o.lastTrigger = 0
+	o.freeArea = o.d.Stats().FreeArea
+}
+
+// State is the optimizer's serializable padding history, captured for
+// session snapshots. Everything else an Optimizer owns (the congestion
+// estimator's journal, cached features) is a pure cache rebuilt on the
+// next estimate; these three fields are the only state that changes
+// results if lost.
+type State struct {
+	Iter     int     `json:"iter"`
+	PadTimes []int   `json:"pad_times"`
+	LastUtil float64 `json:"last_util"`
+}
+
+// State captures the padding history for a snapshot.
+func (o *Optimizer) State() State {
+	return State{
+		Iter:     o.iter,
+		PadTimes: append([]int(nil), o.padTimes...),
+		LastUtil: o.lastUtil,
+	}
+}
+
+// RestoreState re-installs a captured padding history, as when rehydrating
+// a parked ECO session. The PadTimes length must match the design's cell
+// count.
+func (o *Optimizer) RestoreState(s State) error {
+	if len(s.PadTimes) != len(o.d.Cells) {
+		return fmt.Errorf("padding: state has %d pad_times for %d cells",
+			len(s.PadTimes), len(o.d.Cells))
+	}
+	o.iter = s.Iter
+	o.lastUtil = s.LastUtil
+	copy(o.padTimes, s.PadTimes)
+	return nil
+}

@@ -84,8 +84,21 @@ type Config struct {
 	// QuadraticInit bootstraps the initial placement with star-model
 	// Jacobi sweeps (quadratic-placement style) instead of pure
 	// center-plus-jitter, pre-forming clusters before the nonlinear
-	// engine runs.
+	// engine runs. Ignored when WarmStart is set.
 	QuadraticInit bool
+	// WarmStart seeds the initial placement from the design's current
+	// movable-cell centers instead of center-plus-jitter — the ECO path:
+	// a previous placement is already a near-solution for a small delta,
+	// so the engine only has to absorb the change. Fillers are still
+	// seeded uniformly from Seed (they carry no state worth keeping), and
+	// QuadraticInit is skipped.
+	WarmStart bool
+	// Reuse, when non-nil, offers warm engine state harvested from a
+	// previous Placer via ReuseState. NewChecked adopts each piece only
+	// when it still matches this design and configuration (see Reuse);
+	// a mismatched piece is silently rebuilt, so offering stale state is
+	// safe but wasteful, never wrong.
+	Reuse *Reuse `json:"-"`
 	// Seed drives the deterministic initial placement jitter.
 	Seed int64
 	// Workers caps the engine's data parallelism across the per-iteration
@@ -175,6 +188,30 @@ func (cfg *Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Reuse carries warm engine state harvested from a finished Placer via
+// ReuseState, for adoption by a later NewChecked on the SAME design
+// instance (the ECO session path). Each piece is adopted independently and
+// only when it still matches:
+//
+//   - Den is adopted when its finest grid has the resolved GridM×GridN
+//     dimensions over the design region and its level count matches the
+//     requested PyramidLevels. Adoption skips the fixed-cell baseline
+//     rebuild — the solver already carries it — so the caller must drop
+//     Den whenever a fixed cell moved or resized. Deposit fingerprints
+//     survive adoption: re-depositing an identical rect list still skips
+//     the rasterize and solve, which is exactness-safe because skips only
+//     fire on bit-identical input.
+//   - WL is adopted when it was built for this design instance (pointer
+//     equality); γ and the model Kind are (re)set per run, so a model
+//     outlives any particular schedule.
+//
+// A mismatched piece is rebuilt from scratch — offering stale state never
+// changes results, it only wastes the rebuild.
+type Reuse struct {
+	Den density.Solver
+	WL  *wirelength.Model
 }
 
 // Hook is the routability-optimizer callback invoked once per iteration
@@ -332,20 +369,37 @@ func NewChecked(d *netlist.Design, cfg Config) (*Placer, error) {
 	}
 	p.Cfg = cfg
 
+	wantLevels := 1
 	if cfg.PyramidLevels > 1 {
-		p.den = density.NewPyramid(d.Region, cfg.GridM, cfg.GridN, cfg.PyramidLevels)
-	} else {
-		p.den = density.NewGrid(d.Region, cfg.GridM, cfg.GridN)
+		wantLevels = cfg.PyramidLevels
 	}
-	p.g = p.den.Active()
-	for i := range d.Cells {
-		if d.Cells[i].Fixed {
-			p.den.AddFixedRect(d.Cells[i].Rect(), 1)
+	if r := cfg.Reuse; r != nil && r.Den != nil {
+		fine := r.Den.Finest()
+		if fine.M == cfg.GridM && fine.N == cfg.GridN &&
+			fine.Region == d.Region && r.Den.Levels() == wantLevels {
+			p.den = r.Den
 		}
 	}
+	if p.den == nil {
+		if cfg.PyramidLevels > 1 {
+			p.den = density.NewPyramid(d.Region, cfg.GridM, cfg.GridN, cfg.PyramidLevels)
+		} else {
+			p.den = density.NewGrid(d.Region, cfg.GridM, cfg.GridN)
+		}
+		for i := range d.Cells {
+			if d.Cells[i].Fixed {
+				p.den.AddFixedRect(d.Cells[i].Rect(), 1)
+			}
+		}
+	}
+	p.g = p.den.Active()
 	fine := p.den.Finest()
 	p.binBase = (fine.BinW + fine.BinH) / 2
-	p.wl = wirelength.New(d, 8*p.binBase)
+	if r := cfg.Reuse; r != nil && r.WL != nil && r.WL.Design() == d {
+		p.wl = r.WL
+	} else {
+		p.wl = wirelength.New(d, 8*p.binBase)
+	}
 	p.wl.Kind = cfg.WLModel
 	p.gradWx = make([]float64, len(d.Cells))
 	p.gradWy = make([]float64, len(d.Cells))
@@ -373,7 +427,8 @@ func NewChecked(d *netlist.Design, cfg Config) (*Placer, error) {
 	}
 	p.activeFill = p.nFill
 
-	// Initial placement: region center plus jitter, fillers uniform.
+	// Initial placement: region center plus jitter (or, warm-started, the
+	// design's current centers), fillers uniform.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	c := d.Region.Center()
 	jx := d.Region.W() / 40
@@ -382,6 +437,12 @@ func NewChecked(d *netlist.Design, cfg Config) (*Placer, error) {
 	p.nVar = 2 * (nm + p.nFill)
 	x0 := make([]float64, p.nVar)
 	for k, ci := range p.movable {
+		if cfg.WarmStart {
+			ctr := d.Cells[ci].Rect().Center()
+			x0[k] = ctr.X
+			x0[nm+p.nFill+k] = ctr.Y
+			continue
+		}
 		start := c
 		if d.Cells[ci].Fence > 0 {
 			start = d.FenceRect(ci).Center()
@@ -393,7 +454,7 @@ func NewChecked(d *netlist.Design, cfg Config) (*Placer, error) {
 		x0[nm+f] = d.Region.Lo.X + rng.Float64()*d.Region.W()
 		x0[nm+p.nFill+nm+f] = d.Region.Lo.Y + rng.Float64()*d.Region.H()
 	}
-	if cfg.QuadraticInit {
+	if cfg.QuadraticInit && !cfg.WarmStart {
 		p.quadraticInit(x0, 20)
 	}
 	p.rects = make([]geom.Rect, 0, nm+p.nFill)
@@ -407,6 +468,18 @@ func NewChecked(d *netlist.Design, cfg Config) (*Placer, error) {
 
 // Workers reports the engine's resolved worker cap.
 func (p *Placer) Workers() int { return p.workers }
+
+// ReuseState harvests the engine state worth carrying into a later run on
+// the same design: the density solver (fixed baseline, fingerprints, FFT
+// plans) and the wirelength model (per-worker scratch). See Reuse for the
+// adoption rules. The Placer must not be used concurrently with a new
+// engine that adopted its state.
+func (p *Placer) ReuseState() *Reuse {
+	if p.den == nil {
+		return nil
+	}
+	return &Reuse{Den: p.den, WL: p.wl}
+}
 
 // dispatch runs a pre-bound disjoint-write stage over [0, n).
 func (p *Placer) dispatch(n int, stage func(w, lo, hi int)) {

@@ -27,6 +27,12 @@ const maxSpecBytes = 64 << 20
 //	GET    /api/v1/jobs/{id}/artifacts/{name}  spooled artifact download
 //	POST   /api/v1/jobs/{id}/cancel       cancel (queued or running)
 //	DELETE /api/v1/jobs/{id}              alias for cancel
+//	POST   /api/v1/sessions               open an ECO session (202; cold place runs async)
+//	GET    /api/v1/sessions               list session summaries
+//	GET    /api/v1/sessions/{id}          session manifest
+//	POST   /api/v1/sessions/{id}/deltas   apply one ECO delta (synchronous warm re-place)
+//	GET    /api/v1/sessions/{id}/events   SSE progress stream (replay + live)
+//	DELETE /api/v1/sessions/{id}          close the session
 //	GET    /healthz                       liveness + queue/pool counters
 //	GET    /metrics, /debug/...           daemon registry (Prometheus, pprof, expvar)
 func (s *Server) Handler() http.Handler {
@@ -39,6 +45,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
 	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /api/v1/sessions", s.handleSessionOpen)
+	mux.HandleFunc("GET /api/v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleSessionStatus)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/deltas", s.handleSessionDelta)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleSessionEvents)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 
 	// The former cmd/puffer -debug-addr surface, folded into the daemon.
@@ -288,6 +300,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if m == nil {
 		return
 	}
+	var hub *Hub
+	if a, ok := s.jobRuntime(m.ID); ok {
+		hub = a.hub
+	}
+	streamHub(w, r, hub, Event{Type: "state", State: m.State, Error: m.Error})
+}
+
+// streamHub writes an SSE stream from hub: the retained replay first, then
+// live events until the stream closes or the client disconnects. A nil hub
+// (no runtime this boot, or retention expired) gets the single synthetic
+// fallback event so watchers always terminate.
+func streamHub(w http.ResponseWriter, r *http.Request, hub *Hub, fallback Event) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		apiError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -303,15 +327,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
 	}
 
-	a, ok := s.jobRuntime(m.ID)
-	if !ok {
-		// No runtime this boot (pre-restart job, or retention expired):
-		// synthesize the current durable state and end the stream.
-		writeEvent(Event{Type: "state", State: m.State, Error: m.Error})
+	if hub == nil {
+		writeEvent(fallback)
 		fl.Flush()
 		return
 	}
-	replay, live, cancel := a.hub.Subscribe()
+	replay, live, cancel := hub.Subscribe()
 	defer cancel()
 	for _, e := range replay {
 		writeEvent(e)

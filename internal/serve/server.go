@@ -23,6 +23,10 @@ type Config struct {
 	// DefaultJobTimeout applies to jobs that do not set their own
 	// timeout_sec (0 = no deadline). The clock restarts on resume.
 	DefaultJobTimeout time.Duration
+	// SessionIdle is how long an ECO session's in-memory warm state may
+	// sit unused before the janitor evicts it (the spooled snapshot stays;
+	// the next delta rehydrates transparently). 0 disables eviction.
+	SessionIdle time.Duration
 	// Logf, when non-nil, receives daemon progress lines.
 	Logf func(format string, args ...any)
 }
@@ -54,15 +58,20 @@ type Server struct {
 
 	baseCtx  context.Context
 	stopBase context.CancelFunc
+	drainCh  chan struct{} // closed when Drain begins
 	wg       sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*activeJob // every job seen this boot, incl. finished
-	finished []string              // finished-job hub retention order
+	sessions map[string]*sessionRuntime
+	finished []string // finished-job hub retention order
 	draining bool
 
 	// Recovered is the number of interrupted jobs re-admitted at boot.
 	Recovered int
+	// RecoveredSessions is the number of sessions parked at boot (resumed
+	// lazily from their spooled snapshots on the next delta).
+	RecoveredSessions int
 }
 
 // hubRetention bounds how many finished jobs keep their event hubs (and
@@ -94,7 +103,9 @@ func New(cfg Config) (*Server, error) {
 		reg:      obs.NewRegistry(),
 		baseCtx:  ctx,
 		stopBase: cancel,
+		drainCh:  make(chan struct{}),
 		jobs:     make(map[string]*activeJob),
+		sessions: make(map[string]*sessionRuntime),
 	}
 	recovered, err := sp.Recover()
 	if err != nil {
@@ -112,6 +123,18 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf("serve: re-admitted job %s (attempt %d, stage %q)", m.ID, m.Attempts, m.Stage)
 	}
 	s.Recovered = len(recovered)
+	parked, failedSessions, err := sp.RecoverSessions()
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("serve: recover sessions: %w", err)
+	}
+	for _, m := range parked {
+		cfg.Logf("serve: session %s: parked at boot (deltas=%d); next delta rehydrates", m.ID, m.Deltas)
+	}
+	for _, m := range failedSessions {
+		cfg.Logf("serve: session %s: failed at boot: %s", m.ID, m.Error)
+	}
+	s.RecoveredSessions = len(parked)
 	s.reg.Gauge("serve.queue_depth").Set(float64(s.queue.Len()))
 	s.reg.Gauge("serve.queue_cap").Set(float64(cfg.QueueCap))
 	s.reg.Gauge("serve.workers").Set(float64(cfg.Workers))
@@ -124,11 +147,16 @@ func (s *Server) Spool() *Spool { return s.spool }
 // Registry exposes the daemon-level metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// Start launches the worker pool.
+// Start launches the worker pool and, when configured, the idle-session
+// janitor.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.workerLoop()
+	}
+	if s.cfg.SessionIdle > 0 {
+		s.wg.Add(1)
+		go s.sessionJanitor(s.cfg.SessionIdle)
 	}
 }
 
@@ -191,10 +219,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
+	close(s.drainCh)
 	s.queue.Close()
 	for _, c := range cancels {
 		c(errParked)
 	}
+	s.parkSessions()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

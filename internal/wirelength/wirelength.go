@@ -153,6 +153,11 @@ func (m *Model) SetWorkers(n int) {
 // Workers reports the resolved worker cap.
 func (m *Model) Workers() int { return m.workers }
 
+// Design reports the design this model was built for. Callers that cache a
+// Model across runs (warm ECO sessions) use it to check the model still
+// matches the design instance before reusing it.
+func (m *Model) Design() *netlist.Design { return m.d }
+
 func (m *Model) dispatch(n int, stage func(w, lo, hi int)) {
 	if m.workers <= 1 || n < 2 {
 		stage(0, 0, n)

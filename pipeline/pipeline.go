@@ -157,6 +157,7 @@ type RunContext struct {
 	Result *Result
 
 	opt        *padding.Optimizer
+	reuse      *place.Reuse
 	stageIters int
 	estStats   *cong.Stats
 	gridLevel  int
@@ -212,6 +213,9 @@ func (rc *RunContext) SetIters(n int) { rc.stageIters = n }
 // it when it finishes.
 func (rc *RunContext) SetGridLevel(lvl int) { rc.gridLevel = lvl }
 
+// GridLevel reports the recorded density level (see SetGridLevel).
+func (rc *RunContext) GridLevel() int { return rc.gridLevel }
+
 // SetEstimatorStats attaches a congestion-engine statistics snapshot to
 // the running stage; the pipeline copies it into the stage's StageStats
 // when the stage returns.
@@ -228,3 +232,18 @@ func (rc *RunContext) PadOptimizer() *padding.Optimizer {
 	}
 	return rc.opt
 }
+
+// UsePadOptimizer injects a pre-existing routability optimizer — the ECO
+// session path, where one optimizer (and its congestion journal and
+// padding history) outlives many runs. It must be called before the first
+// PadOptimizer use; the optimizer must have been built for rc.Design.
+func (rc *RunContext) UsePadOptimizer(opt *padding.Optimizer) { rc.opt = opt }
+
+// EngineReuse returns the warm engine state the placement stage harvested
+// when the run finished (nil before the stage ran). An ECO session feeds
+// it into the next run's place.Config.Reuse.
+func (rc *RunContext) EngineReuse() *place.Reuse { return rc.reuse }
+
+// SetEngineReuse records harvested engine state; the placement stage calls
+// it after the engine runs.
+func (rc *RunContext) SetEngineReuse(r *place.Reuse) { rc.reuse = r }

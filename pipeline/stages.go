@@ -73,6 +73,7 @@ func GlobalPlace() Stage {
 		rc.Result.GP = *gp
 		rc.SetIters(gp.Iters)
 		rc.SetGridLevel(placer.Level())
+		rc.SetEngineReuse(placer.ReuseState())
 		if opt.Iter() > 0 {
 			rc.SetEstimatorStats(opt.Estimator().Stats())
 		}
