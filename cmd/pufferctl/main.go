@@ -15,9 +15,16 @@
 //	list     list all jobs the daemon knows
 //	wait     poll until a job reaches a terminal state
 //	session  interactive ECO sessions: open | delta | status | watch | close | list
+//	top      render the daemon's operational snapshot (/api/v1/ops)
 //
 // submit honors the daemon's backpressure: with -retry N, a 429 response
 // is retried up to N times after the server's Retry-After hint.
+//
+// submit -trace out.json starts a client span, propagates its W3C
+// traceparent to the daemon, waits for the job, and merges the client and
+// daemon Chrome traces into one Perfetto-loadable file whose spans — HTTP
+// handling, queue wait, pipeline stages, place.gp shards — share a single
+// trace ID.
 //
 // The daemon address can also come from the PUFFERD_ADDR environment
 // variable. Exit status is non-zero when the addressed job failed.
@@ -33,9 +40,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"puffer/internal/obs"
 )
 
 func main() {
@@ -43,7 +53,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait|session} ...")
+		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait|session|top} ...")
 		os.Exit(2)
 	}
 	c := &client{base: strings.TrimSuffix(*addr, "/")}
@@ -67,6 +77,8 @@ func main() {
 		err = c.wait(rest)
 	case "session":
 		err = c.session(rest)
+	case "top":
+		err = c.top()
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -114,6 +126,7 @@ func (c *client) submit(args []string) error {
 		timeout  = fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 		watch    = fs.Bool("watch", false, "stream progress until the job finishes")
 		retry    = fs.Int("retry", 0, "retry a full queue up to N times, honoring Retry-After")
+		trace    = fs.String("trace", "", "wait for the job and write a merged client+daemon Chrome trace here")
 	)
 	fs.Parse(args)
 
@@ -151,8 +164,24 @@ func (c *client) submit(args []string) error {
 		spec["strategy"] = json.RawMessage(data)
 	}
 
+	// With -trace, this process becomes the root of the distributed trace:
+	// the submit span's traceparent rides the POST, the daemon roots its
+	// serve.job span under it, and after the job finishes the two Chrome
+	// traces merge into one tree on one time axis.
+	var (
+		tracer      *obs.Tracer
+		clientSpan  *obs.Span
+		traceparent string
+	)
+	if *trace != "" {
+		tracer = obs.NewTracer()
+		clientSpan = tracer.StartSpan("client.submit")
+		traceparent = clientSpan.TraceContext().Traceparent()
+	}
+
 	body, _ := json.Marshal(spec)
-	resp, err := c.postWithRetry(c.base+"/api/v1/jobs", body, *retry)
+	postStart := time.Now()
+	resp, err := c.postWithRetry(c.base+"/api/v1/jobs", body, *retry, traceparent)
 	if err != nil {
 		return err
 	}
@@ -168,20 +197,132 @@ func (c *client) submit(args []string) error {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return fmt.Errorf("decode response: %w", err)
 	}
+	clientSpan.RecordChild("client.request", postStart, time.Since(postStart))
+	clientSpan.SetArg("job", m.ID)
 	fmt.Printf("job %s %s\n", m.ID, m.State)
+	if *trace == "" {
+		if *watch {
+			return c.streamEvents(m.ID)
+		}
+		return nil
+	}
+
+	var watchErr error
+	waitStart := time.Now()
 	if *watch {
-		return c.streamEvents(m.ID)
+		watchErr = c.streamEvents(m.ID)
+	}
+	state, errMsg, err := c.waitTerminal(m.ID, 500*time.Millisecond, 15*time.Minute)
+	if err != nil {
+		return err
+	}
+	clientSpan.RecordChild("client.wait", waitStart, time.Since(waitStart))
+	if err := c.writeMergedTrace(tracer, clientSpan, m.ID, *trace); err != nil {
+		return err
+	}
+	if watchErr != nil {
+		return watchErr
+	}
+	if state != "done" {
+		return fmt.Errorf("job %s %s: %s", m.ID, state, errMsg)
 	}
 	return nil
+}
+
+// waitTerminal polls the job manifest until it leaves the live states,
+// returning the terminal state and error message.
+func (c *client) waitTerminal(id string, poll, timeout time.Duration) (state, errMsg string, err error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(c.base + "/api/v1/jobs/" + id)
+		if err != nil {
+			return "", "", err
+		}
+		var m struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if serr := checkStatus(resp); serr != nil {
+			return "", "", serr
+		}
+		if decErr != nil {
+			return "", "", decErr
+		}
+		switch m.State {
+		case "queued", "running", "":
+		default:
+			return m.State, m.Error, nil
+		}
+		if time.Now().After(deadline) {
+			return "", "", fmt.Errorf("job %s still %s after %s", id, m.State, timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// writeMergedTrace ends the client span and merges the client tracer with
+// the job's spooled trace artifact into one Chrome trace file. A job that
+// died before exporting a trace (canceled in queue, spool failure) still
+// yields a file with the client's own spans.
+func (c *client) writeMergedTrace(tracer *obs.Tracer, clientSpan *obs.Span, id, dest string) error {
+	clientSpan.End()
+	var clientBuf bytes.Buffer
+	if err := tracer.WriteJSON(&clientBuf); err != nil {
+		return err
+	}
+	parts := []obs.TracePart{{Process: "pufferctl", Data: clientBuf.Bytes()}}
+	server, err := c.fetchArtifact(id, "trace.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pufferctl: no daemon trace for %s (%v); writing client spans only\n", id, err)
+	} else {
+		parts = append(parts, obs.TracePart{Process: "pufferd", Data: server})
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	merr := obs.MergeChromeTraces(f, parts...)
+	if cerr := f.Close(); merr == nil {
+		merr = cerr
+	}
+	if merr != nil {
+		return merr
+	}
+	fmt.Printf("trace: %s (%d processes, trace_id %s)\n", dest, len(parts), tracer.TraceID())
+	return nil
+}
+
+// fetchArtifact downloads one spooled artifact into memory.
+func (c *client) fetchArtifact(id, name string) ([]byte, error) {
+	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/artifacts/" + name)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // postWithRetry posts body to url; a 429 response is retried up to retries
 // times, sleeping out the server's Retry-After hint (a bounded default
 // when the header is absent or unparsable). Any other response — success
-// or failure — returns immediately.
-func (c *client) postWithRetry(url string, body []byte, retries int) (*http.Response, error) {
+// or failure — returns immediately. A non-empty traceparent rides every
+// attempt so the daemon adopts the client's trace context.
+func (c *client) postWithRetry(url string, body []byte, retries int, traceparent string) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set(obs.TraceparentHeader, traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -651,6 +792,109 @@ func (c *client) sessionList() error {
 		fmt.Printf("%-14s %-16s %-8s %6d %5s  %s\n", r.ID, r.Design, r.State, r.Deltas, warm, detail)
 	}
 	return nil
+}
+
+// opsSnapshot mirrors the /api/v1/ops document; pufferctl top and
+// cmd/diag -ops both render it.
+type opsSnapshot struct {
+	Status        string             `json:"status"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	QueueDepth    int                `json:"queue_depth"`
+	QueueCap      int                `json:"queue_cap"`
+	Workers       int                `json:"workers"`
+	ActiveJobs    int                `json:"active_jobs"`
+	Sessions      map[string]int     `json:"sessions"`
+	Counters      map[string]int64   `json:"counters"`
+	Gauges        map[string]float64 `json:"gauges"`
+	Histograms    map[string]struct {
+		Count uint64  `json:"count"`
+		Mean  float64 `json:"mean_seconds"`
+		P50   float64 `json:"p50_seconds"`
+		P95   float64 `json:"p95_seconds"`
+		P99   float64 `json:"p99_seconds"`
+	} `json:"histograms"`
+	SLO []struct {
+		Name      string  `json:"name"`
+		Quantile  float64 `json:"quantile"`
+		Value     float64 `json:"value_seconds"`
+		Bound     float64 `json:"bound_seconds"`
+		Window    uint64  `json:"window_count"`
+		Evaluable bool    `json:"evaluable"`
+		OK        bool    `json:"ok"`
+		Burning   bool    `json:"burning"`
+	} `json:"slo"`
+	SLOHealthy bool `json:"slo_healthy"`
+}
+
+// top renders the daemon's one-call operational picture: lifecycle, queue
+// pressure, latency digests, and live SLO status.
+func (c *client) top() error {
+	resp, err := http.Get(c.base + "/api/v1/ops")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var ops opsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ops); err != nil {
+		return fmt.Errorf("decode ops: %w", err)
+	}
+	fmt.Printf("pufferd %s  up %s  queue %d/%d  workers %d  active %d  sessions %d (%d warm)\n",
+		ops.Status, time.Duration(ops.UptimeSeconds*float64(time.Second)).Round(time.Second),
+		ops.QueueDepth, ops.QueueCap, ops.Workers, ops.ActiveJobs,
+		ops.Sessions["tracked"], ops.Sessions["warm"])
+
+	if len(ops.Histograms) > 0 {
+		fmt.Printf("\n%-36s %8s %9s %9s %9s %9s\n", "LATENCY", "COUNT", "MEAN", "P50", "P95", "P99")
+		for _, name := range sortedKeys(ops.Histograms) {
+			h := ops.Histograms[name]
+			fmt.Printf("%-36s %8d %9s %9s %9s %9s\n", name, h.Count,
+				fmtSecs(h.Mean), fmtSecs(h.P50), fmtSecs(h.P95), fmtSecs(h.P99))
+		}
+	}
+	if len(ops.SLO) > 0 {
+		fmt.Printf("\n%-20s %6s %9s %9s %8s  %s\n", "SLO", "Q", "VALUE", "BOUND", "WINDOW", "STATUS")
+		for _, o := range ops.SLO {
+			status := "ok"
+			switch {
+			case !o.Evaluable:
+				status = "no data"
+			case o.Burning:
+				status = "BURNING"
+			case !o.OK:
+				status = "failing"
+			}
+			fmt.Printf("%-20s %6.2f %9s %9s %8d  %s\n",
+				o.Name, o.Quantile, fmtSecs(o.Value), fmtSecs(o.Bound), o.Window, status)
+		}
+	}
+	if len(ops.Counters) > 0 {
+		fmt.Printf("\n%-36s %8s\n", "COUNTER", "VALUE")
+		for _, name := range sortedKeys(ops.Counters) {
+			fmt.Printf("%-36s %8d\n", name, ops.Counters[name])
+		}
+	}
+	return nil
+}
+
+// fmtSecs renders a duration-in-seconds compactly for the top tables.
+func fmtSecs(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }
 
 func (c *client) wait(args []string) error {

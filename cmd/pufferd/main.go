@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"puffer/internal/obs"
 	"puffer/internal/serve"
 )
 
@@ -46,31 +48,43 @@ func main() {
 		workers      = flag.Int("workers", 2, "job worker pool size")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline for jobs that set none (0 = none)")
 		sessionIdle  = flag.Duration("session-idle", 15*time.Minute, "evict an ECO session's in-memory warm state after this idle time (snapshot stays; 0 = never)")
+		queueSLO     = flag.Duration("queue-slo", time.Minute, "queue-wait p99 SLO bound (/readyz reports 503 while it burns)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long to wait for running jobs to park on shutdown")
+		drainGrace   = flag.Duration("drain-grace", 0, "hold /readyz at 503 this long before parking jobs on shutdown (lets load balancers drain)")
 		verbose      = flag.Bool("v", true, "log job lifecycle events")
+		debugLog     = flag.Bool("log-debug", false, "also log per-request and probe lines")
 	)
 	flag.Parse()
 
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = log.Printf
+	// Structured logs on stderr: every record under a request or worker
+	// carries trace/span/job/session attrs (obs.LogHandler). -v=false keeps
+	// only warnings; -log-debug adds the per-request lines.
+	level := slog.LevelInfo
+	switch {
+	case *debugLog:
+		level = slog.LevelDebug
+	case !*verbose:
+		level = slog.LevelWarn
 	}
+	logger := obs.NewLogger(os.Stderr, level)
 	srv, err := serve.New(serve.Config{
 		SpoolDir:          *spool,
 		QueueCap:          *queueCap,
 		Workers:           *workers,
 		DefaultJobTimeout: *jobTimeout,
 		SessionIdle:       *sessionIdle,
-		Logf:              logf,
+		QueueWaitSLO:      *queueSLO,
+		DrainGrace:        *drainGrace,
+		Log:               logger,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if srv.Recovered > 0 {
-		log.Printf("pufferd: re-admitted %d interrupted job(s) from %s", srv.Recovered, *spool)
+		logger.Info("recovered interrupted jobs", "count", srv.Recovered, "spool", *spool)
 	}
 	if srv.RecoveredSessions > 0 {
-		log.Printf("pufferd: parked %d ECO session(s); the next delta rehydrates them", srv.RecoveredSessions)
+		logger.Info("parked ECO sessions; next delta rehydrates", "count", srv.RecoveredSessions)
 	}
 	srv.Start()
 
@@ -96,16 +110,16 @@ func main() {
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case sig := <-sigCh:
-		log.Printf("pufferd: %s received, draining (timeout %s)", sig, *drainTimeout)
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
-			log.Printf("pufferd: %v", err)
+			logger.Error("drain", "error", err)
 		}
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer shutCancel()
 		hsrv.Shutdown(shutCtx)
-		log.Printf("pufferd: drained; interrupted jobs will resume on next start")
+		logger.Info("drained; interrupted jobs resume on next start")
 	case err := <-errCh:
 		log.Fatalf("pufferd: serve: %v", err)
 	}

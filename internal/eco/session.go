@@ -8,6 +8,7 @@ import (
 
 	"puffer/internal/cong"
 	"puffer/internal/netlist"
+	"puffer/internal/obs"
 	"puffer/internal/padding"
 	"puffer/internal/place"
 	"puffer/pipeline"
@@ -175,6 +176,16 @@ func (s *Session) Apply(ctx context.Context, dl *Delta) (*pipeline.Result, error
 	if err := dl.Validate(s.d); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadDelta, err)
 	}
+	// The delta span roots this warm re-place in the session's trace: the
+	// padding refresh and the pipeline's "run" tree nest under it, so a
+	// spooled session trace reads as base placement followed by one
+	// eco.apply subtree per delta.
+	span, ctx := obs.Start(ctx, s.cfg.Obs, "eco.apply")
+	defer span.End()
+	span.SetArg("moves", len(dl.Moves))
+	span.SetArg("resizes", len(dl.Resizes))
+	span.SetArg("weights", len(dl.Weights))
+	span.SetArg("padding", len(dl.Padding))
 	if dl.apply(s.d) && s.reuse != nil {
 		// The fixed landscape changed: the density baseline is stale.
 		// The wirelength model only reads positions — keep it.

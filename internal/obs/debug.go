@@ -88,6 +88,17 @@ func UnpublishExpvar(name string) {
 	expvarMu.Unlock()
 }
 
+// ExpvarPublished reports whether a named registry is currently registered
+// in the "puffer" expvar tree. Diagnostic helper for embedders verifying
+// their publish/unpublish pairing (leaked registrations pin registries in
+// process-global state for the life of the process).
+func ExpvarPublished(name string) bool {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	_, ok := expvarNamed[name]
+	return ok
+}
+
 // DebugServer is the live debug endpoint of a run: net/http/pprof under
 // /debug/pprof/, expvar under /debug/vars (including the metrics registry
 // snapshot as the "puffer" var), and the registry in Prometheus text

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// LogHandler is a slog.Handler middleware that correlates log records
+// with the rest of the telemetry: every record handled with a context
+// carrying an obs span gains trace_id/span_id attrs, and attrs attached
+// via ContextWithLabels (job ID, session ID, ...) are stamped on as well.
+// One grep for a trace_id then yields the log lines, the spans and —
+// through the job ID — the metrics of a single request.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner with trace/label correlation.
+func NewLogHandler(inner slog.Handler) *LogHandler {
+	return &LogHandler{inner: inner}
+}
+
+// Enabled defers to the wrapped handler.
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle stamps correlation attrs from ctx onto the record and forwards
+// it.
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sp := FromContext(ctx); sp != nil {
+		tc := sp.TraceContext()
+		r.AddAttrs(
+			slog.String("trace_id", tc.TraceID.String()),
+			slog.String("span_id", tc.SpanID.String()),
+		)
+	}
+	if labels, _ := ctx.Value(labelsKey{}).([]slog.Attr); len(labels) > 0 {
+		r.AddAttrs(labels...)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs forwards to the wrapped handler, keeping the middleware on
+// top so context attrs still land on derived loggers.
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup forwards to the wrapped handler.
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}
+
+// labelsKey keys the []slog.Attr correlation labels in a context.
+type labelsKey struct{}
+
+// ContextWithLabels returns ctx carrying additional correlation attrs
+// (appended to any already present) that LogHandler stamps onto every
+// record logged under the returned context.
+func ContextWithLabels(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev, _ := ctx.Value(labelsKey{}).([]slog.Attr)
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, labelsKey{}, merged)
+}
+
+// NewLogger builds the service's standard logger: a text handler on w at
+// the given level, wrapped in a LogHandler for trace/label correlation.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewLogHandler(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// discardHandler is a slog.Handler that drops everything at the Enabled
+// gate (slog.DiscardHandler arrived after this module's Go baseline).
+// Logging through it is allocation-free: Enabled returns false before
+// any record is built.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+var nopLogger = slog.New(discardHandler{})
+
+// NopLogger returns a logger that discards every record without
+// allocating — the "logging off" value components default to when no
+// logger is configured, mirroring the nil-Recorder convention.
+func NopLogger() *slog.Logger { return nopLogger }

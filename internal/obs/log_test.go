@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestLogHandlerStampsTraceAndLabels(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, slog.LevelInfo)
+
+	tr := NewTracer()
+	rec := NewRecorder(tr, nil)
+	sp, ctx := Start(context.Background(), rec, "serve.job")
+	ctx = ContextWithLabels(ctx, slog.String("job", "job-123"), slog.String("session", "s-1"))
+
+	logger.InfoContext(ctx, "job started", "attempt", 2)
+	sp.End()
+
+	line := buf.String()
+	tc := sp.TraceContext()
+	for _, want := range []string{
+		"msg=\"job started\"",
+		"attempt=2",
+		"trace_id=" + tc.TraceID.String(),
+		"span_id=" + tc.SpanID.String(),
+		"job=job-123",
+		"session=s-1",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line missing %q:\n%s", want, line)
+		}
+	}
+
+	// Without a span or labels in context, no correlation attrs appear.
+	buf.Reset()
+	logger.Info("bare")
+	if out := buf.String(); strings.Contains(out, "trace_id") || strings.Contains(out, "job=") {
+		t.Fatalf("bare record gained correlation attrs:\n%s", out)
+	}
+
+	// Labels accumulate across ContextWithLabels calls.
+	ctx2 := ContextWithLabels(context.Background(), slog.String("a", "1"))
+	ctx2 = ContextWithLabels(ctx2, slog.String("b", "2"))
+	buf.Reset()
+	logger.InfoContext(ctx2, "two labels")
+	if out := buf.String(); !strings.Contains(out, "a=1") || !strings.Contains(out, "b=2") {
+		t.Fatalf("labels did not accumulate:\n%s", out)
+	}
+}
+
+func TestLogHandlerWithAttrsAndGroup(t *testing.T) {
+	var buf bytes.Buffer
+	logger := NewLogger(&buf, slog.LevelDebug).With("component", "worker")
+
+	ctx := ContextWithLabels(context.Background(), slog.String("job", "j"))
+	logger.InfoContext(ctx, "derived logger keeps correlation")
+	out := buf.String()
+	if !strings.Contains(out, "component=worker") || !strings.Contains(out, "job=j") {
+		t.Fatalf("With() lost middleware:\n%s", out)
+	}
+
+	buf.Reset()
+	logger.WithGroup("g").InfoContext(ctx, "grouped", "k", "v")
+	out = buf.String()
+	if !strings.Contains(out, "g.k=v") {
+		t.Fatalf("group lost:\n%s", out)
+	}
+
+	// Level gating is preserved through the middleware.
+	var quiet bytes.Buffer
+	warn := NewLogger(&quiet, slog.LevelWarn)
+	warn.Info("dropped")
+	if quiet.Len() != 0 {
+		t.Fatalf("info passed a warn-level handler:\n%s", quiet.String())
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	l := NopLogger()
+	if l == nil {
+		t.Fatal("nil NopLogger")
+	}
+	// Full surface is callable and silent.
+	ctx := ContextWithLabels(context.Background(), slog.String("job", "j"))
+	l.InfoContext(ctx, "x", "k", "v")
+	l.With("a", 1).WithGroup("g").Error("y")
+	if l.Enabled(ctx, slog.LevelError) {
+		t.Fatal("NopLogger enabled")
+	}
+}

@@ -17,21 +17,23 @@ import (
 //
 // A nil *Registry is valid and hands out nil instruments.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	series   map[string]*Series
-	sinks    []Sink
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	series     map[string]*Series
+	histograms map[string]*Histogram
+	sinks      []Sink
 }
 
 // NewRegistry builds an empty registry; every series sample is fanned out
 // to the given sinks as it is observed.
 func NewRegistry(sinks ...Sink) *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		series:   make(map[string]*Series),
-		sinks:    sinks,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		series:     make(map[string]*Series),
+		histograms: make(map[string]*Histogram),
+		sinks:      sinks,
 	}
 }
 
@@ -191,6 +193,23 @@ func (r *Registry) Series(name string) *Series {
 	return s
 }
 
+// Histogram returns the named latency histogram, creating it on first
+// use. All histograms share the fixed log-spaced bucket ladder (see
+// HistogramBounds).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(name)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Flush flushes every sink.
 func (r *Registry) Flush() error {
 	if r == nil {
@@ -208,9 +227,10 @@ func (r *Registry) Flush() error {
 // Snapshot is a point-in-time copy of a registry's contents, embedded in
 // run reports and served over expvar.
 type Snapshot struct {
-	Counters map[string]int64    `json:"counters,omitempty"`
-	Gauges   map[string]float64  `json:"gauges,omitempty"`
-	Series   map[string][]Sample `json:"series,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Series     map[string][]Sample          `json:"series,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the registry. Safe to call concurrently with recording.
@@ -232,6 +252,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.series {
 		series[k] = v
 	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
 	r.mu.Unlock()
 
 	if len(counters) > 0 {
@@ -250,6 +274,12 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Series = make(map[string][]Sample, len(series))
 		for k, s := range series {
 			snap.Series[k] = s.Samples()
+		}
+	}
+	if len(histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(histograms))
+		for k, h := range histograms {
+			snap.Histograms[k] = h.Snapshot()
 		}
 	}
 	return snap
@@ -274,9 +304,12 @@ func promName(name string) string {
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format: counters as counters, gauges as gauges, and each series' latest
-// value as a gauge suffixed _last (with a _count companion). Output is
-// sorted by name, so scrapes are diff-stable.
+// format (0.0.4): counters as counters, gauges as gauges, each series'
+// latest value as a gauge suffixed _last (with a _count companion), and
+// histograms as native Prometheus histograms (cumulative _bucket{le=...}
+// plus _sum and _count). Every family gets # HELP and # TYPE lines and a
+// sanitized name (promName), so real scrapers parse the endpoint; output
+// is sorted by name, so scrapes are diff-stable.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	var names []string
@@ -286,7 +319,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		n := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s puffer counter %s\n# TYPE %s counter\n%s %d\n",
+			n, k, n, n, snap.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -297,7 +331,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		n := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, snap.Gauges[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s puffer gauge %s\n# TYPE %s gauge\n%s %g\n",
+			n, k, n, n, snap.Gauges[k]); err != nil {
 			return err
 		}
 	}
@@ -313,8 +348,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if len(ss) > 0 {
 			last = ss[len(ss)-1].Value
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s_last gauge\n%s_last %g\n# TYPE %s_count gauge\n%s_count %d\n",
-			n, n, last, n, n, len(ss)); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s_last puffer series %s (latest value)\n# TYPE %s_last gauge\n%s_last %g\n# HELP %s_count puffer series %s (sample count)\n# TYPE %s_count gauge\n%s_count %d\n",
+			n, k, n, n, last, n, k, n, n, len(ss)); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range snap.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		hs := snap.Histograms[k]
+		n := promName(k)
+		if _, err := fmt.Fprintf(w, "# HELP %s puffer histogram %s (seconds)\n# TYPE %s histogram\n", n, k, n); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range hs.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(histBounds) {
+				le = fmt.Sprintf("%g", histBounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", n, hs.Sum, n, hs.Count); err != nil {
 			return err
 		}
 	}

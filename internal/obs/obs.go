@@ -84,3 +84,11 @@ func (r *Recorder) Series(name string) *Series {
 	}
 	return r.metrics.Series(name)
 }
+
+// Histogram resolves (creating on first use) the named latency histogram.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.metrics.Histogram(name)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Objective is one service-level objective: a quantile of a latency
+// histogram that must stay under a bound. The bound is a function so it
+// can be derived from live data — e.g. "warm delta p95 ≤ 1/10 of the mean
+// session cold-open wall" re-reads the cold-open histogram at every
+// evaluation.
+type Objective struct {
+	// Name identifies the objective in /api/v1/ops output.
+	Name string
+	// Histogram is the latency distribution being judged.
+	Histogram *Histogram
+	// Quantile in (0,1], e.g. 0.95 for p95.
+	Quantile float64
+	// Bound returns the current bound in seconds. A nil func or a
+	// non-positive bound marks the objective unevaluable (reported OK:
+	// typically the baseline it derives from has no data yet).
+	Bound func() float64
+	// MinCount is the minimum number of observations a window needs to be
+	// judged. Smaller windows are folded into the next evaluation instead
+	// of producing noise verdicts.
+	MinCount uint64
+}
+
+// ObjectiveStatus is one objective's verdict at the last evaluation.
+type ObjectiveStatus struct {
+	Name        string    `json:"name"`
+	Quantile    float64   `json:"quantile"`
+	Value       float64   `json:"value_seconds"`
+	Bound       float64   `json:"bound_seconds"`
+	Window      uint64    `json:"window_count"`
+	Evaluable   bool      `json:"evaluable"`
+	OK          bool      `json:"ok"`
+	Burning     bool      `json:"burning"`
+	EvaluatedAt time.Time `json:"evaluated_at"`
+}
+
+// SLO evaluates a set of objectives over histogram windows: each Eval
+// call judges the observations recorded since the last window that met
+// MinCount. An objective that fails two consecutive evaluations is
+// "burning" — the signal /readyz and ops dashboards key off, so one
+// outlier window doesn't flap the service's health.
+//
+// A nil *SLO is valid: Eval returns nil and Healthy reports true.
+type SLO struct {
+	mu   sync.Mutex
+	objs []*sloState
+}
+
+type sloState struct {
+	obj    Objective
+	prev   HistogramSnapshot // snapshot at the last judged window boundary
+	fails  int               // consecutive failing evaluations
+	status ObjectiveStatus
+}
+
+// NewSLO builds a tracker over the given objectives.
+func NewSLO(objs ...Objective) *SLO {
+	s := &SLO{objs: make([]*sloState, len(objs))}
+	for i, o := range objs {
+		s.objs[i] = &sloState{obj: o, status: ObjectiveStatus{
+			Name: o.Name, Quantile: o.Quantile, OK: true,
+		}}
+	}
+	return s
+}
+
+// Eval evaluates every objective against the observations since its last
+// judged window and returns the fresh statuses, in objective order.
+func (s *SLO) Eval() []ObjectiveStatus {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ObjectiveStatus, len(s.objs))
+	for i, st := range s.objs {
+		out[i] = st.eval(now)
+	}
+	return out
+}
+
+func (st *sloState) eval(now time.Time) ObjectiveStatus {
+	o := st.obj
+	status := ObjectiveStatus{Name: o.Name, Quantile: o.Quantile, EvaluatedAt: now}
+
+	var bound float64
+	if o.Bound != nil {
+		bound = o.Bound()
+	}
+	snap := o.Histogram.Snapshot()
+	window := snap.Delta(st.prev)
+	status.Window = window.Count
+	status.Bound = bound
+
+	if bound <= 0 || o.Histogram == nil {
+		// No baseline to judge against (or no instrument): unevaluable,
+		// reported OK, window carried forward.
+		status.OK = true
+		st.fails = 0
+		st.status = status
+		return status
+	}
+	if window.Count < o.MinCount {
+		// Too little traffic to judge: fold the window forward and keep
+		// the previous verdict's burn state.
+		status.OK = st.fails == 0
+		status.Burning = st.fails >= 2
+		st.status = status
+		return status
+	}
+
+	status.Evaluable = true
+	status.Value = window.Quantile(o.Quantile)
+	status.OK = status.Value <= bound
+	if status.OK {
+		st.fails = 0
+	} else {
+		st.fails++
+	}
+	status.Burning = st.fails >= 2
+	st.prev = snap
+	st.status = status
+	return status
+}
+
+// Healthy reports whether no objective is currently burning.
+func (s *SLO) Healthy() bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.objs {
+		if st.status.Burning {
+			return false
+		}
+	}
+	return true
+}

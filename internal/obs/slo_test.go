@@ -1,0 +1,122 @@
+package obs
+
+import "testing"
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	if got := s.Eval(); got != nil {
+		t.Fatalf("nil SLO eval %+v", got)
+	}
+	if !s.Healthy() {
+		t.Fatal("nil SLO unhealthy")
+	}
+}
+
+func TestSLOWindowedEvaluationAndBurn(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("serve.queue_wait_seconds")
+	bound := 0.1
+	slo := NewSLO(Objective{
+		Name:      "queue-wait-p99",
+		Histogram: h,
+		Quantile:  0.99,
+		Bound:     func() float64 { return bound },
+		MinCount:  5,
+	})
+
+	// Too little traffic: not judged, reported OK.
+	h.Observe(10)
+	st := slo.Eval()[0]
+	if st.Evaluable || !st.OK || st.Burning {
+		t.Fatalf("under-MinCount window judged: %+v", st)
+	}
+	if !slo.Healthy() {
+		t.Fatal("unhealthy before any judged window")
+	}
+
+	// The unfinished window folds forward: these 9 fast observations join
+	// the earlier 10s outlier, so the first judged window fails.
+	for i := 0; i < 9; i++ {
+		h.Observe(0.001)
+	}
+	st = slo.Eval()[0]
+	if !st.Evaluable || st.OK || st.Burning {
+		t.Fatalf("first failing eval: %+v", st)
+	}
+	if !slo.Healthy() {
+		t.Fatal("one failing eval must not burn yet")
+	}
+
+	// Second consecutive failing window: burning.
+	for i := 0; i < 6; i++ {
+		h.Observe(5)
+	}
+	st = slo.Eval()[0]
+	if st.OK || !st.Burning {
+		t.Fatalf("second failing eval: %+v", st)
+	}
+	if slo.Healthy() {
+		t.Fatal("two consecutive failures must burn")
+	}
+
+	// A healthy window clears the burn immediately.
+	for i := 0; i < 20; i++ {
+		h.Observe(0.001)
+	}
+	st = slo.Eval()[0]
+	if !st.OK || st.Burning {
+		t.Fatalf("recovery eval: %+v", st)
+	}
+	if !slo.Healthy() {
+		t.Fatal("burn not cleared by passing window")
+	}
+
+	// Bound collapsing to non-positive makes the objective unevaluable
+	// (baseline lost), reported OK.
+	bound = 0
+	h.Observe(100)
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	st = slo.Eval()[0]
+	if st.Evaluable || !st.OK {
+		t.Fatalf("unevaluable objective: %+v", st)
+	}
+}
+
+func TestSLODynamicBound(t *testing.T) {
+	reg := NewRegistry()
+	cold := reg.Histogram("serve.session_cold_open_seconds")
+	warm := reg.Histogram("serve.session_warm_delta_seconds")
+	// The ECO SLO shape: warm p95 bounded by a tenth of the cold mean.
+	slo := NewSLO(Objective{
+		Name:      "warm-delta-p95",
+		Histogram: warm,
+		Quantile:  0.95,
+		Bound: func() float64 {
+			return cold.Snapshot().Mean() / 10
+		},
+		MinCount: 3,
+	})
+
+	// No cold opens yet: bound is 0 → unevaluable, OK.
+	warm.Observe(0.5)
+	warm.Observe(0.5)
+	warm.Observe(0.5)
+	if st := slo.Eval()[0]; st.Evaluable || !st.OK {
+		t.Fatalf("no-baseline eval: %+v", st)
+	}
+
+	// Cold mean 10s → bound 1s; warm deltas ~0.5s pass.
+	cold.Observe(10)
+	for i := 0; i < 3; i++ {
+		warm.Observe(0.5)
+	}
+	st := slo.Eval()[0]
+	if !st.Evaluable || !st.OK {
+		t.Fatalf("passing eval: %+v", st)
+	}
+	if st.Bound < 0.99 || st.Bound > 1.01 {
+		t.Fatalf("derived bound %v, want ~1", st.Bound)
+	}
+}

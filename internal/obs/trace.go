@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,11 +18,21 @@ import (
 // coarse-grained work — a run, a stage, an optimizer call, a rebuild
 // shard — while per-iteration scalars go to the metrics Registry.
 //
+// Every tracer belongs to one trace (a random 16-byte TraceID, or one
+// adopted from an incoming traceparent header via NewTracerWith) and
+// every span gets a stable 8-byte SpanID, so traces recorded in
+// different processes merge into a single tree when they share a trace
+// ID (see MergeChromeTraces).
+//
 // A nil *Tracer is valid: StartSpan returns a nil *Span whose whole
 // method set is a no-op.
 type Tracer struct {
-	t0      time.Time
-	nextTID atomic.Int64
+	t0       time.Time
+	traceID  TraceID
+	parent   SpanID // remote parent adopted from traceparent; zero for local roots
+	idBase   uint64
+	nextSpan atomic.Uint64
+	nextTID  atomic.Int64
 
 	mu     sync.Mutex
 	events []traceEvent
@@ -29,22 +40,54 @@ type Tracer struct {
 
 // traceEvent is one completed span, held until export.
 type traceEvent struct {
-	name string
-	tid  int64
-	ts   time.Duration // start, relative to t0
-	dur  time.Duration
-	args map[string]any
+	name   string
+	tid    int64
+	id     SpanID
+	parent SpanID
+	ts     time.Duration // start, relative to t0
+	dur    time.Duration
+	args   map[string]any
 }
 
 // rootTID is the logical thread root spans (and their non-forked
 // children) render on.
 const rootTID = 1
 
-// NewTracer starts an empty tracer; its clock zero is the call time.
+// NewTracer starts an empty tracer with a fresh random trace ID; its
+// clock zero is the call time.
 func NewTracer() *Tracer {
-	t := &Tracer{t0: time.Now()}
+	return NewTracerWith(TraceContext{TraceID: newTraceID()})
+}
+
+// NewTracerWith starts an empty tracer that joins the trace described by
+// tc: spans adopt tc.TraceID, and root spans parent under tc.SpanID (the
+// caller's span in another process). A zero tc.TraceID is replaced with a
+// fresh random one, so NewTracerWith(TraceContext{}) == NewTracer().
+func NewTracerWith(tc TraceContext) *Tracer {
+	if tc.TraceID.IsZero() {
+		tc.TraceID = newTraceID()
+	}
+	t := &Tracer{
+		t0:      time.Now(),
+		traceID: tc.TraceID,
+		parent:  tc.SpanID,
+		idBase:  binary.BigEndian.Uint64(tc.TraceID[:8]) ^ uint64(time.Now().UnixNano()),
+	}
 	t.nextTID.Store(rootTID)
 	return t
+}
+
+// TraceID returns the trace this tracer's spans belong to (zero for nil).
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.traceID
+}
+
+// newSpanID mints the next span ID for this tracer.
+func (t *Tracer) newSpanID() SpanID {
+	return spanIDFrom(t.idBase, t.nextSpan.Add(1))
 }
 
 // Span is one open interval of work. Spans nest by call structure: Child
@@ -53,19 +96,29 @@ func NewTracer() *Tracer {
 // commits the span to the tracer; a span must be ended exactly once, by
 // the goroutine that owns it.
 type Span struct {
-	t     *Tracer
-	name  string
-	tid   int64
-	start time.Time
-	args  map[string]any
+	t      *Tracer
+	name   string
+	tid    int64
+	id     SpanID
+	parent SpanID
+	start  time.Time
+	args   map[string]any
 }
 
 // StartSpan opens a root span on the tracer's root thread.
 func (t *Tracer) StartSpan(name string) *Span {
+	return t.StartSpanAt(name, time.Now())
+}
+
+// StartSpanAt opens a root span whose start time is set explicitly. This
+// lets a server record work that began before the tracer existed — e.g. a
+// job span starting at submission time even though the worker's tracer is
+// built at claim time.
+func (t *Tracer) StartSpanAt(name string, start time.Time) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{t: t, name: name, tid: rootTID, start: time.Now()}
+	return &Span{t: t, name: name, tid: rootTID, id: t.newSpanID(), parent: t.parent, start: start}
 }
 
 // Child opens a sub-span on the same logical thread; Chrome trace viewers
@@ -74,7 +127,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
+	return &Span{t: s.t, name: name, tid: s.tid, id: s.t.newSpanID(), parent: s.id, start: time.Now()}
 }
 
 // Fork opens a sub-span on a fresh logical thread, for work running
@@ -84,7 +137,17 @@ func (s *Span) Fork(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{t: s.t, name: name, tid: s.t.nextTID.Add(1), start: time.Now()}
+	return &Span{t: s.t, name: name, tid: s.t.nextTID.Add(1), id: s.t.newSpanID(), parent: s.id, start: time.Now()}
+}
+
+// TraceContext returns the position of this span in its trace — the tuple
+// to encode as a traceparent header when crossing a process boundary.
+// A nil span returns the zero (invalid) context.
+func (s *Span) TraceContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.t.traceID, SpanID: s.id, Flags: 0x01}
 }
 
 // SetArg attaches a key/value to the span, shown in the trace viewer's
@@ -105,11 +168,35 @@ func (s *Span) End() {
 		return
 	}
 	ev := traceEvent{
-		name: s.name,
-		tid:  s.tid,
-		ts:   s.start.Sub(s.t.t0),
-		dur:  time.Since(s.start),
-		args: s.args,
+		name:   s.name,
+		tid:    s.tid,
+		id:     s.id,
+		parent: s.parent,
+		ts:     s.start.Sub(s.t.t0),
+		dur:    time.Since(s.start),
+		args:   s.args,
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// RecordChild commits an already-finished child of s with an explicit
+// start time and duration — for intervals measured outside the tracer's
+// lifetime, like the queue wait between a job's submission and its claim
+// by a worker.
+func (s *Span) RecordChild(name string, start time.Time, dur time.Duration) {
+	if s == nil {
+		return
+	}
+	ev := traceEvent{
+		name:   name,
+		tid:    s.tid,
+		id:     s.t.newSpanID(),
+		parent: s.id,
+		ts:     start.Sub(s.t.t0),
+		dur:    dur,
+		args:   nil,
 	}
 	s.t.mu.Lock()
 	s.t.events = append(s.t.events, ev)
@@ -126,16 +213,16 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
-// chromeEvent is the exported trace-event shape ("X" = complete event;
-// timestamps and durations in microseconds).
+// chromeEvent is the exported trace-event shape ("X" = complete event,
+// "M" = metadata; timestamps and durations in microseconds).
 type chromeEvent struct {
 	Name string         `json:"name"`
-	Cat  string         `json:"cat"`
+	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
 	PID  int            `json:"pid"`
 	TID  int64          `json:"tid"`
 	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
+	Dur  float64        `json:"dur,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -147,23 +234,37 @@ type chromeTrace struct {
 }
 
 // WriteJSON exports all committed spans as Chrome trace-event JSON.
+// Timestamps are absolute wall-clock microseconds (Unix epoch), so traces
+// recorded by different processes of the same trace align on a shared
+// axis when merged. Each event carries trace_id/span_id/parent_span_id
+// args identifying its position in the distributed trace.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
 		return err
 	}
+	base := float64(t.t0.UnixMicro())
 	t.mu.Lock()
 	events := make([]chromeEvent, len(t.events))
 	for i, ev := range t.events {
+		args := make(map[string]any, len(ev.args)+3)
+		for k, v := range ev.args {
+			args[k] = v
+		}
+		args["trace_id"] = t.traceID.String()
+		args["span_id"] = ev.id.String()
+		if !ev.parent.IsZero() {
+			args["parent_span_id"] = ev.parent.String()
+		}
 		events[i] = chromeEvent{
 			Name: ev.name,
 			Cat:  "puffer",
 			Ph:   "X",
 			PID:  1,
 			TID:  ev.tid,
-			Ts:   float64(ev.ts) / float64(time.Microsecond),
+			Ts:   base + float64(ev.ts)/float64(time.Microsecond),
 			Dur:  float64(ev.dur) / float64(time.Microsecond),
-			Args: ev.args,
+			Args: args,
 		}
 	}
 	t.mu.Unlock()
@@ -182,6 +283,42 @@ func (t *Tracer) WriteFile(path string) error {
 		return fmt.Errorf("obs: trace: %w", err)
 	}
 	return f.Close()
+}
+
+// TracePart is one process's contribution to a merged trace: a label for
+// the viewer's process lane and the Chrome trace JSON it exported.
+type TracePart struct {
+	Process string
+	Data    []byte
+}
+
+// MergeChromeTraces combines per-process Chrome traces into one file: part
+// i's events render under pid i+1 with a process_name metadata row, and
+// because WriteJSON stamps absolute timestamps, spans from all parts share
+// one time axis. Events keep their trace_id args, so a viewer (or the
+// serve e2e test) can confirm the parts belong to a single trace.
+func MergeChromeTraces(w io.Writer, parts ...TracePart) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ms"
+	for i, part := range parts {
+		pid := i + 1
+		var tr chromeTrace
+		if err := json.Unmarshal(part.Data, &tr); err != nil {
+			return fmt.Errorf("obs: merge trace %q: %w", part.Process, err)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]any{"name": part.Process},
+		})
+		for _, ev := range tr.TraceEvents {
+			ev.PID = pid
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }
 
 // ctxKey keys the current span in a context.

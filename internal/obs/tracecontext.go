@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceID is the 16-byte identity one distributed trace shares across
+// processes: pufferctl mints it, the traceparent header carries it to
+// pufferd, and every span the daemon and its workers record under the job
+// joins the same tree.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is the 8-byte identity of one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// TraceContext is the W3C trace-context tuple a request carries across a
+// process boundary: which trace it belongs to, which span is the caller,
+// and the sampling flags.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Valid reports whether the context identifies a real trace position
+// (both IDs nonzero, as the W3C spec requires).
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && !tc.SpanID.IsZero() }
+
+// Traceparent encodes the context as a W3C traceparent header value:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tc.TraceID, tc.SpanID, tc.Flags)
+}
+
+// TraceparentHeader is the canonical header name ("traceparent").
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent decodes a W3C traceparent header value, rejecting
+// malformed input: wrong field count or width, non-hex digits, the
+// reserved version ff, uppercase hex, or an all-zero trace or span ID.
+func ParseTraceparent(s string) (TraceContext, error) {
+	var tc TraceContext
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 {
+		return tc, fmt.Errorf("obs: traceparent %q: want 4 dash-separated fields, got %d", s, len(parts))
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return tc, fmt.Errorf("obs: traceparent %q: bad field widths", s)
+	}
+	if strings.ToLower(s) != s {
+		return tc, fmt.Errorf("obs: traceparent %q: must be lowercase hex", s)
+	}
+	version, err := hex.DecodeString(parts[0])
+	if err != nil {
+		return tc, fmt.Errorf("obs: traceparent %q: bad version: %v", s, err)
+	}
+	if version[0] == 0xff {
+		return tc, fmt.Errorf("obs: traceparent %q: version ff is reserved", s)
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(parts[1])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent %q: bad trace id: %v", s, err)
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(parts[2])); err != nil {
+		return tc, fmt.Errorf("obs: traceparent %q: bad span id: %v", s, err)
+	}
+	flags, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return tc, fmt.Errorf("obs: traceparent %q: bad flags: %v", s, err)
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return tc, fmt.Errorf("obs: traceparent %q: zero trace or span id", s)
+	}
+	return tc, nil
+}
+
+// newTraceID mints a random trace ID (crypto/rand; span uniqueness across
+// unrelated processes is the whole point of the ID).
+func newTraceID() TraceID {
+	var t TraceID
+	if _, err := rand.Read(t[:]); err != nil {
+		panic(fmt.Sprintf("obs: crypto/rand unavailable: %v", err))
+	}
+	return t
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality 64-bit mix used to derive span IDs from a per-tracer
+// random base and a counter without touching crypto/rand per span.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// spanIDFrom derives the n-th span ID of a tracer from its random base.
+// The result is never zero (zero is the invalid ID).
+func spanIDFrom(base, n uint64) SpanID {
+	v := splitmix64(base + n)
+	if v == 0 {
+		v = 1
+	}
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], v)
+	return s
+}

@@ -33,8 +33,14 @@ const maxSpecBytes = 64 << 20
 //	POST   /api/v1/sessions/{id}/deltas   apply one ECO delta (synchronous warm re-place)
 //	GET    /api/v1/sessions/{id}/events   SSE progress stream (replay + live)
 //	DELETE /api/v1/sessions/{id}          close the session
-//	GET    /healthz                       liveness + queue/pool counters
+//	GET    /healthz                       liveness (always 200 while the process serves)
+//	GET    /readyz                        readiness (503 while draining / saturated / SLO burning)
+//	GET    /api/v1/ops                    operational snapshot (queue, histograms, SLOs)
 //	GET    /metrics, /debug/...           daemon registry (Prometheus, pprof, expvar)
+//
+// Every route passes through withTelemetry: request latency lands in the
+// serve.http_request_seconds histogram and each request logs one
+// structured line correlated with any incoming traceparent.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -52,6 +58,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /api/v1/ops", s.handleOps)
 
 	// The former cmd/puffer -debug-addr surface, folded into the daemon.
 	debug := obs.NewDebugMux(s.reg)
@@ -62,9 +70,9 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "pufferd placement job service\n\n/api/v1/jobs\n/healthz\n/metrics\n/debug/pprof/\n/debug/vars\n")
+		fmt.Fprint(w, "pufferd placement job service\n\n/api/v1/jobs\n/api/v1/ops\n/healthz\n/readyz\n/metrics\n/debug/pprof/\n/debug/vars\n")
 	})
-	return mux
+	return s.withTelemetry(mux)
 }
 
 // writeJSON writes v with the given status.
@@ -111,6 +119,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		State:       StateQueued,
 		SubmittedAt: time.Now().UTC(),
 	}
+	// Persist a valid incoming trace context with the job: the worker that
+	// eventually claims it (possibly after a daemon restart) adopts it, so
+	// the pipeline's span tree joins the submitting client's trace.
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		if _, err := obs.ParseTraceparent(tp); err == nil {
+			m.TraceParent = tp
+		}
+	}
 	if err := s.spool.CreateJob(m); err != nil {
 		apiError(w, http.StatusInternalServerError, "spool job: %v", err)
 		return
@@ -134,7 +150,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.Counter("serve.jobs_submitted").Inc()
 	s.reg.Gauge("serve.queue_depth").Set(float64(s.queue.Len()))
-	s.cfg.Logf("serve: job %s: queued (kind=%s)", m.ID, spec.Kind)
+	s.log.InfoContext(r.Context(), "job queued", "job", m.ID, "kind", spec.Kind)
 	writeJSON(w, http.StatusAccepted, m)
 }
 
@@ -304,14 +320,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if a, ok := s.jobRuntime(m.ID); ok {
 		hub = a.hub
 	}
-	streamHub(w, r, hub, Event{Type: "state", State: m.State, Error: m.Error})
+	s.streamHub(w, r, hub, Event{Type: "state", State: m.State, Error: m.Error})
 }
 
 // streamHub writes an SSE stream from hub: the retained replay first, then
 // live events until the stream closes or the client disconnects. A nil hub
 // (no runtime this boot, or retention expired) gets the single synthetic
-// fallback event so watchers always terminate.
-func streamHub(w http.ResponseWriter, r *http.Request, hub *Hub, fallback Event) {
+// fallback event so watchers always terminate. Each live write+flush is
+// timed into serve.sse_fanout_seconds — the latency a watcher sees between
+// an event being published and reaching its socket buffer.
+func (s *Server) streamHub(w http.ResponseWriter, r *http.Request, hub *Hub, fallback Event) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		apiError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -344,8 +362,10 @@ func streamHub(w http.ResponseWriter, r *http.Request, hub *Hub, fallback Event)
 			if !open {
 				return
 			}
+			t0 := time.Now()
 			writeEvent(e)
 			fl.Flush()
+			s.hSSE.ObserveSince(t0)
 		case <-r.Context().Done():
 			return
 		}

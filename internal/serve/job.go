@@ -193,6 +193,9 @@ type Manifest struct {
 	Stage string `json:"stage,omitempty"`
 	// Attempts counts admissions (1 on first run; +1 per park/crash resume).
 	Attempts int `json:"attempts"`
+	// TraceParent is the W3C traceparent header the submission carried, if
+	// any; the worker adopts it so the job's trace joins the client's.
+	TraceParent string `json:"traceparent,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -27,8 +28,18 @@ type Config struct {
 	// sit unused before the janitor evicts it (the spooled snapshot stays;
 	// the next delta rehydrates transparently). 0 disables eviction.
 	SessionIdle time.Duration
-	// Logf, when non-nil, receives daemon progress lines.
-	Logf func(format string, args ...any)
+	// QueueWaitSLO bounds the queue-wait p99 objective surfaced on /readyz
+	// and /api/v1/ops (default 60s; negative disables the objective).
+	QueueWaitSLO time.Duration
+	// DrainGrace holds Drain open after readiness flips (admission stops,
+	// /readyz answers 503) before running jobs are canceled, so load
+	// balancers watching /readyz can route traffic away while in-flight
+	// work still completes normally. 0 cancels immediately.
+	DrainGrace time.Duration
+	// Log receives the daemon's structured log records. Every record
+	// carries trace/span/job/session correlation attrs when emitted under
+	// a request or worker context (obs.LogHandler). Nil means silent.
+	Log *slog.Logger
 }
 
 // Cancellation causes, distinguished through context.Cause so the worker
@@ -55,17 +66,30 @@ type Server struct {
 	spool *Spool
 	queue *Queue
 	reg   *obs.Registry // daemon-level metrics (queue depth, job counts)
+	log   *slog.Logger
+
+	// Service latency histograms, resolved once from reg so the hot paths
+	// skip the registry map. Exposed on /metrics and fed to the SLOs.
+	hHTTP      *obs.Histogram // wall of every HTTP request
+	hQueueWait *obs.Histogram // submit → worker claim
+	hJobWall   *obs.Histogram // worker claim → terminal/parked
+	hColdOpen  *obs.Histogram // session base placement wall
+	hWarmDelta *obs.Histogram // warm delta apply wall
+	hSSE       *obs.Histogram // one SSE event write+flush
+	slo        *obs.SLO
+	startedAt  time.Time
 
 	baseCtx  context.Context
 	stopBase context.CancelFunc
 	drainCh  chan struct{} // closed when Drain begins
 	wg       sync.WaitGroup
 
-	mu       sync.Mutex
-	jobs     map[string]*activeJob // every job seen this boot, incl. finished
-	sessions map[string]*sessionRuntime
-	finished []string // finished-job hub retention order
-	draining bool
+	mu               sync.Mutex
+	jobs             map[string]*activeJob // every job seen this boot, incl. finished
+	sessions         map[string]*sessionRuntime
+	finished         []string // finished-job hub retention order
+	finishedSessions []string // closed/failed-session hub retention order
+	draining         bool
 
 	// Recovered is the number of interrupted jobs re-admitted at boot.
 	Recovered int
@@ -88,8 +112,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
+	}
+	if cfg.QueueWaitSLO == 0 {
+		cfg.QueueWaitSLO = time.Minute
 	}
 	sp, err := OpenSpool(cfg.SpoolDir)
 	if err != nil {
@@ -97,16 +124,36 @@ func New(cfg Config) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		spool:    sp,
-		queue:    NewQueue(cfg.QueueCap),
-		reg:      obs.NewRegistry(),
-		baseCtx:  ctx,
-		stopBase: cancel,
-		drainCh:  make(chan struct{}),
-		jobs:     make(map[string]*activeJob),
-		sessions: make(map[string]*sessionRuntime),
+		cfg:       cfg,
+		spool:     sp,
+		queue:     NewQueue(cfg.QueueCap),
+		reg:       obs.NewRegistry(),
+		log:       cfg.Log,
+		startedAt: time.Now(),
+		baseCtx:   ctx,
+		stopBase:  cancel,
+		drainCh:   make(chan struct{}),
+		jobs:      make(map[string]*activeJob),
+		sessions:  make(map[string]*sessionRuntime),
 	}
+	s.hHTTP = s.reg.Histogram("serve.http_request_seconds")
+	s.hQueueWait = s.reg.Histogram("serve.queue_wait_seconds")
+	s.hJobWall = s.reg.Histogram("serve.job_wall_seconds")
+	s.hColdOpen = s.reg.Histogram("serve.session_cold_open_seconds")
+	s.hWarmDelta = s.reg.Histogram("serve.session_warm_delta_seconds")
+	s.hSSE = s.reg.Histogram("serve.sse_fanout_seconds")
+	s.slo = obs.NewSLO(
+		// The paper's ECO promise: a warm delta must stay an order of
+		// magnitude under the cold wall. Unevaluable until cold opens exist.
+		obs.Objective{
+			Name: "warm-delta-p95", Histogram: s.hWarmDelta, Quantile: 0.95, MinCount: 3,
+			Bound: func() float64 { return s.hColdOpen.Snapshot().Mean() / 10 },
+		},
+		obs.Objective{
+			Name: "queue-wait-p99", Histogram: s.hQueueWait, Quantile: 0.99, MinCount: 5,
+			Bound: func() float64 { return cfg.QueueWaitSLO.Seconds() },
+		},
+	)
 	recovered, err := sp.Recover()
 	if err != nil {
 		cancel()
@@ -120,7 +167,7 @@ func New(cfg Config) (*Server, error) {
 			cancel()
 			return nil, err
 		}
-		cfg.Logf("serve: re-admitted job %s (attempt %d, stage %q)", m.ID, m.Attempts, m.Stage)
+		s.log.Info("re-admitted interrupted job", "job", m.ID, "attempt", m.Attempts, "stage", m.Stage)
 	}
 	s.Recovered = len(recovered)
 	parked, failedSessions, err := sp.RecoverSessions()
@@ -129,10 +176,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: recover sessions: %w", err)
 	}
 	for _, m := range parked {
-		cfg.Logf("serve: session %s: parked at boot (deltas=%d); next delta rehydrates", m.ID, m.Deltas)
+		s.log.Info("session parked at boot; next delta rehydrates", "session", m.ID, "deltas", m.Deltas)
 	}
 	for _, m := range failedSessions {
-		cfg.Logf("serve: session %s: failed at boot: %s", m.ID, m.Error)
+		s.log.Warn("session failed at boot", "session", m.ID, "error", m.Error)
 	}
 	s.RecoveredSessions = len(parked)
 	s.reg.Gauge("serve.queue_depth").Set(float64(s.queue.Len()))
@@ -199,6 +246,21 @@ func (s *Server) retireJob(id string) {
 	}
 }
 
+// retireSession mirrors retireJob for terminal sessions: the runtime (hub,
+// registry) stays for late watchers up to the retention bound, then drops.
+// The caller must already have closed the runtime's telemetry, or the
+// expvar registration leaks past the runtime.
+func (s *Server) retireSession(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finishedSessions = append(s.finishedSessions, id)
+	for len(s.finishedSessions) > hubRetention {
+		old := s.finishedSessions[0]
+		s.finishedSessions = s.finishedSessions[1:]
+		delete(s.sessions, old)
+	}
+}
+
 // Drain gracefully stops the server: admission closes (submissions get
 // 503), running jobs are canceled with the park cause so they stop within
 // one pipeline iteration and keep their last stage-boundary checkpoint,
@@ -221,6 +283,14 @@ func (s *Server) Drain(ctx context.Context) error {
 
 	close(s.drainCh)
 	s.queue.Close()
+	// Readiness has flipped; give load balancers the configured window to
+	// observe it before in-flight jobs are told to park.
+	if g := s.cfg.DrainGrace; g > 0 {
+		select {
+		case <-time.After(g):
+		case <-ctx.Done():
+		}
+	}
 	for _, c := range cancels {
 		c(errParked)
 	}

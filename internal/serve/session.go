@@ -311,6 +311,7 @@ func (sp *Spool) RecoverSessions() (parked, failed []*SessionManifest, err error
 // per-session telemetry. run serializes the session's work: the base
 // placement and every delta hold it, so a concurrent delta gets 409.
 type sessionRuntime struct {
+	id  string
 	hub *Hub
 
 	run sync.Mutex // held while opening or applying a delta
@@ -332,7 +333,7 @@ func (s *Server) ensureSession(id string) *sessionRuntime {
 	defer s.mu.Unlock()
 	rt, ok := s.sessions[id]
 	if !ok {
-		rt = &sessionRuntime{hub: NewHub(), lastUsed: time.Now()}
+		rt = &sessionRuntime{id: id, hub: NewHub(), lastUsed: time.Now()}
 		s.sessions[id] = rt
 	}
 	return rt
@@ -347,7 +348,9 @@ func (s *Server) sessionRuntimeFor(id string) (*sessionRuntime, bool) {
 }
 
 // telemetry returns the runtime's recorder and hub-connected registry,
-// wiring them (and the spooled metrics.jsonl) on first use.
+// wiring them (and the spooled metrics.jsonl, and the live expvar
+// registration) on first use. A rehydrate after closeTelemetry rebuilds
+// everything, so an evicted-then-warmed session republishes its registry.
 func (rt *sessionRuntime) telemetry(s *Server, id string) *obs.Recorder {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -363,13 +366,31 @@ func (rt *sessionRuntime) telemetry(s *Server, id string) *obs.Recorder {
 	}
 	rt.reg = obs.NewRegistry(sinks...)
 	rt.rec = obs.NewRecorder(obs.NewTracer(), rt.reg)
+	obs.PublishExpvar("session-"+id, rt.reg)
 	return rt.rec
 }
 
-// closeTelemetry flushes and releases the runtime's metric stream.
-func (rt *sessionRuntime) closeTelemetry() {
+// closeTelemetry flushes and releases the runtime's telemetry: the metric
+// stream closes, the session's span tree (base placement plus every warm
+// delta applied since the last rehydrate) spools as trace.json, the expvar
+// registration is dropped, and the recorder is cleared so the next
+// rehydrate starts fresh. Called on close, open failure, and idle
+// eviction — without the unpublish here, evicted sessions would pin their
+// registries in the process-global expvar map forever.
+func (rt *sessionRuntime) closeTelemetry(s *Server) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	if rt.rec != nil {
+		if tr := rt.rec.Tracer(); tr.Len() > 0 {
+			tp := filepath.Join(s.spool.SessionDir(rt.id), "trace.json")
+			if err := tr.WriteFile(tp); err != nil {
+				s.log.Error("write session trace", "session", rt.id, "error", err)
+			}
+		}
+		obs.UnpublishExpvar("session-" + rt.id)
+		rt.rec = nil
+		rt.reg = nil
+	}
 	if rt.metricsSink != nil {
 		rt.metricsSink.Flush()
 		rt.metricsSink = nil
@@ -446,7 +467,7 @@ func (s *Server) openSession(m *SessionManifest, rt *sessionRuntime) {
 
 	fail := func(format string, args ...any) {
 		msg := fmt.Sprintf(format, args...)
-		s.cfg.Logf("serve: session %s: open failed: %s", id, msg)
+		s.log.Error("session open failed", "session", id, "error", msg)
 		s.spool.UpdateSession(id, func(mm *SessionManifest) error {
 			mm.State = SessionFailed
 			mm.Error = msg
@@ -454,7 +475,8 @@ func (s *Server) openSession(m *SessionManifest, rt *sessionRuntime) {
 		})
 		rt.hub.Publish(Event{Type: "state", State: JobState(SessionFailed), Error: msg})
 		rt.hub.Close()
-		rt.closeTelemetry()
+		rt.closeTelemetry(s)
+		s.retireSession(id)
 	}
 
 	d, err := s.sessionDesign(m)
@@ -505,7 +527,9 @@ func (s *Server) openSession(m *SessionManifest, rt *sessionRuntime) {
 	})
 	rt.hub.Publish(Event{Type: "state", State: JobState(SessionOpen)})
 	s.reg.Counter("serve.sessions_opened").Inc()
-	s.cfg.Logf("serve: session %s: open (hpwl=%.4g, %s)", id, res.HPWL, time.Since(start).Round(time.Millisecond))
+	s.hColdOpen.ObserveSince(start)
+	s.log.Info("session open",
+		"session", id, "hpwl", res.HPWL, "wall", time.Since(start).Round(time.Millisecond))
 }
 
 // rehydrateSession rebuilds the in-memory eco.Session of a parked or
@@ -528,7 +552,7 @@ func (s *Server) rehydrateSession(m *SessionManifest, rt *sessionRuntime) (*eco.
 		return nil, err
 	}
 	s.reg.Counter("serve.sessions_rehydrated").Inc()
-	s.cfg.Logf("serve: session %s: rehydrated from snapshot (deltas=%d)", m.ID, sn.Deltas)
+	s.log.Info("session rehydrated from snapshot", "session", m.ID, "deltas", sn.Deltas)
 	return sess, nil
 }
 
@@ -556,10 +580,16 @@ func (s *Server) evictIdleSessions(idle time.Duration) {
 			c.rt.sess = nil
 		}
 		c.rt.mu.Unlock()
+		if expired {
+			// Release the telemetry with the warm state: the expvar
+			// registration and metric stream go; the next delta's rehydrate
+			// rebuilds and republishes them alongside the eco.Session.
+			c.rt.closeTelemetry(s)
+		}
 		c.rt.run.Unlock()
 		if expired {
 			s.reg.Counter("serve.sessions_evicted").Inc()
-			s.cfg.Logf("serve: session %s: evicted idle warm state (snapshot retained)", c.id)
+			s.log.Info("session warm state evicted (snapshot retained)", "session", c.id)
 		}
 	}
 }
@@ -604,9 +634,20 @@ func (s *Server) parkSessions() {
 	for _, c := range cancels {
 		c(errParked)
 	}
+	// Flush each runtime's telemetry so parked sessions leave their span
+	// trees and metric streams on disk for the next boot's operator.
+	s.mu.Lock()
+	rts := make([]*sessionRuntime, 0, len(s.sessions))
+	for _, rt := range s.sessions {
+		rts = append(rts, rt)
+	}
+	s.mu.Unlock()
+	for _, rt := range rts {
+		rt.closeTelemetry(s)
+	}
 	all, err := s.spool.ListSessions()
 	if err != nil {
-		s.cfg.Logf("serve: park sessions: %v", err)
+		s.log.Error("park sessions", "error", err)
 		return
 	}
 	for _, m := range all {
@@ -619,7 +660,7 @@ func (s *Server) parkSessions() {
 			}
 			return nil
 		}); err != nil {
-			s.cfg.Logf("serve: park session %s: %v", m.ID, err)
+			s.log.Error("park session", "session", m.ID, "error", err)
 		}
 	}
 }

@@ -56,7 +56,7 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	go s.openSession(m, rt)
 	s.reg.Counter("serve.sessions_submitted").Inc()
-	s.cfg.Logf("serve: session %s: opening (design=%s)", m.ID, sessionDesignName(&spec))
+	s.log.InfoContext(r.Context(), "session opening", "session", m.ID, "design", sessionDesignName(&spec))
 	writeJSON(w, http.StatusAccepted, m)
 }
 
@@ -261,10 +261,12 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reg.Counter("serve.session_deltas").Inc()
+	s.hWarmDelta.ObserveSince(start)
 	rt.hub.Publish(Event{Type: "log",
 		Line: fmt.Sprintf("delta %d applied: hpwl=%.6g (%s)", um.Deltas, sn.LastHPWL, time.Since(start).Round(time.Millisecond))})
-	s.cfg.Logf("serve: session %s: delta %d applied (hpwl=%.4g, %s)",
-		m.ID, um.Deltas, sn.LastHPWL, time.Since(start).Round(time.Millisecond))
+	s.log.InfoContext(r.Context(), "session delta applied",
+		"session", m.ID, "delta", um.Deltas, "hpwl", sn.LastHPWL,
+		"wall", time.Since(start).Round(time.Millisecond), "rehydrated", rehydrated)
 	writeJSON(w, http.StatusOK, deltaResponse{
 		ID:         m.ID,
 		Deltas:     um.Deltas,
@@ -308,10 +310,13 @@ func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
 	if rt, ok := s.sessionRuntimeFor(m.ID); ok {
 		rt.hub.Publish(Event{Type: "state", State: JobState(SessionClosed)})
 		rt.hub.Close()
-		rt.closeTelemetry()
+		rt.closeTelemetry(s)
 	}
+	// Closed sessions enter hub retention like finished jobs; before this,
+	// a closed session's runtime (and its expvar registry) lived forever.
+	s.retireSession(m.ID)
 	s.reg.Counter("serve.sessions_closed").Inc()
-	s.cfg.Logf("serve: session %s: closed (deltas=%d)", m.ID, um.Deltas)
+	s.log.InfoContext(r.Context(), "session closed", "session", m.ID, "deltas", um.Deltas)
 	writeJSON(w, http.StatusOK, um)
 }
 
@@ -327,5 +332,5 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	if rt, ok := s.sessionRuntimeFor(m.ID); ok {
 		hub = rt.hub
 	}
-	streamHub(w, r, hub, Event{Type: "state", State: JobState(m.State), Error: m.Error})
+	s.streamHub(w, r, hub, Event{Type: "state", State: JobState(m.State), Error: m.Error})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -55,7 +56,7 @@ func (s *Server) runJob(id string) {
 	})
 	if err != nil {
 		if !errors.Is(err, errSkipJob) {
-			s.cfg.Logf("serve: job %s: claim failed: %v", id, err)
+			s.log.Error("job claim failed", "job", id, "error", err)
 		}
 		return
 	}
@@ -94,7 +95,15 @@ func (s *Server) runJob(id string) {
 		sinks = append(sinks, metricsSink)
 	}
 	reg := obs.NewRegistry(sinks...)
-	tracer := obs.NewTracer()
+	// Adopt the submission's trace context when one was spooled: the job's
+	// span tree (and under it the whole pipeline) joins the client's trace,
+	// so a merged Chrome trace shows client request, queue wait, and shard
+	// work as one tree under one trace ID.
+	var tc obs.TraceContext
+	if m.TraceParent != "" {
+		tc, _ = obs.ParseTraceparent(m.TraceParent)
+	}
+	tracer := obs.NewTracerWith(tc)
 	rec := obs.NewRecorder(tracer, reg)
 	s.mu.Lock()
 	a.reg = reg
@@ -102,9 +111,27 @@ func (s *Server) runJob(id string) {
 	obs.PublishExpvar("job-"+id, reg)
 	defer obs.UnpublishExpvar("job-" + id)
 
+	// The job span opens retroactively at submission, so the trace shows
+	// the full client-observed wall; the queue wait (submission → claim)
+	// is its first child and feeds the queue-wait SLO histogram.
+	jobSpan := tracer.StartSpanAt("serve.job", m.SubmittedAt)
+	jobSpan.SetArg("job", id)
+	jobSpan.SetArg("kind", m.Spec.Kind)
+	jobSpan.SetArg("attempt", m.Attempts)
+	queueWait := start.Sub(m.SubmittedAt)
+	if queueWait < 0 {
+		queueWait = 0
+	}
+	jobSpan.RecordChild("serve.queue_wait", m.SubmittedAt, queueWait)
+	s.hQueueWait.Observe(queueWait.Seconds())
+	runCtx = obs.ContextWith(runCtx, jobSpan)
+	lctx := obs.ContextWithLabels(runCtx, slog.String("job", id))
+
 	s.reg.Gauge("serve.active_jobs").Set(float64(s.activeCount()))
 	a.hub.Publish(Event{Type: "state", State: StateRunning})
-	s.cfg.Logf("serve: job %s: running (kind=%s attempt=%d)", id, m.Spec.Kind, m.Attempts)
+	s.log.InfoContext(lctx, "job running",
+		"kind", m.Spec.Kind, "attempt", m.Attempts,
+		"queue_wait", queueWait.Round(time.Millisecond))
 
 	var result *JobResult
 	switch m.Spec.Kind {
@@ -113,6 +140,7 @@ func (s *Server) runJob(id string) {
 	default:
 		result, err = s.execPlace(runCtx, m, a, rec)
 	}
+	jobSpan.End()
 
 	// Spool the trace and flush the metric stream regardless of outcome —
 	// a parked or failed job's partial telemetry is exactly what the
@@ -120,7 +148,7 @@ func (s *Server) runJob(id string) {
 	if tracer.Len() > 0 {
 		if tp, perr := s.spool.ArtifactPath(id, "trace.json"); perr == nil {
 			if werr := tracer.WriteFile(tp); werr != nil {
-				s.cfg.Logf("serve: job %s: write trace: %v", id, werr)
+				s.log.ErrorContext(lctx, "write trace artifact", "error", werr)
 			}
 		}
 	}
@@ -145,10 +173,11 @@ func (s *Server) runJob(id string) {
 		}
 		return nil
 	}); uerr != nil {
-		s.cfg.Logf("serve: job %s: finalize manifest: %v", id, uerr)
+		s.log.ErrorContext(lctx, "finalize manifest", "error", uerr)
 	}
 
 	s.queue.ObserveJobDuration(time.Since(start))
+	s.hJobWall.ObserveSince(start)
 	switch state {
 	case StateDone:
 		s.reg.Counter("serve.jobs_completed").Inc()
@@ -168,7 +197,8 @@ func (s *Server) runJob(id string) {
 		s.retireJob(id)
 	}
 	s.reg.Gauge("serve.active_jobs").Set(float64(s.activeCount()))
-	s.cfg.Logf("serve: job %s: %s (%s)", id, state, time.Since(start).Round(time.Millisecond))
+	s.log.InfoContext(lctx, "job finished",
+		"state", state, "wall", time.Since(start).Round(time.Millisecond), "error", errMsg)
 }
 
 // classifyOutcome maps an execution error to the job's next state using
@@ -315,12 +345,12 @@ func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *
 	if rp, perr := s.spool.ArtifactPath(id, "report.json"); perr == nil {
 		if rep, berr := pipeline.BuildReport(rc); berr == nil {
 			if werr := rep.Save(rp); werr != nil {
-				s.cfg.Logf("serve: job %s: write report: %v", id, werr)
+				s.log.ErrorContext(ctx, "write report artifact", "job", id, "error", werr)
 			}
 		}
 	}
 	if _, werr := bookshelf.Write(d, s.spool.JobDir(id), "placed"); werr != nil {
-		s.cfg.Logf("serve: job %s: write placed design: %v", id, werr)
+		s.log.ErrorContext(ctx, "write placed design", "job", id, "error", werr)
 	}
 	return buildResult(rc, m.Result), nil
 }
@@ -374,7 +404,7 @@ func (s *Server) execExplore(ctx context.Context, m *Manifest, a *activeJob, rec
 	}
 	if sp, perr := s.spool.ArtifactPath(m.ID, "strategy.json"); perr == nil {
 		if werr := puffer.SaveStrategy(sp, final); werr != nil {
-			s.cfg.Logf("serve: job %s: write strategy: %v", m.ID, werr)
+			s.log.ErrorContext(ctx, "write strategy artifact", "job", m.ID, "error", werr)
 		}
 	}
 	return &JobResult{

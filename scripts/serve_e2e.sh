@@ -2,9 +2,13 @@
 # End-to-end exercise of the pufferd job service, as CI runs it:
 #
 #   1. build pufferd + pufferctl
-#   2. boot the daemon on an ephemeral port with a fresh spool
-#   3. submit a quick job via pufferctl and stream it to completion
-#   4. submit a slow job, SIGTERM the daemon mid-run
+#   2. boot the daemon on an ephemeral port with a fresh spool; probe
+#      /healthz, /readyz, and /metrics
+#   3. submit a quick job with -trace via pufferctl, stream it to
+#      completion, and assert the merged Chrome trace carries client and
+#      daemon spans under one trace ID
+#   4. submit a slow job, SIGTERM the daemon mid-run; /readyz must flip
+#      503 (draining) while /healthz stays 200
 #   5. assert the job parked at a checkpoint, restart the daemon
 #   6. assert the parked job was re-admitted, resumed, and finished
 #   7. open an ECO session, apply a delta, and check the SSE stream
@@ -36,7 +40,8 @@ go build -o "$work/pufferctl" ./cmd/pufferctl
 start_daemon() {
     rm -f "$work/addr"
     "$work/pufferd" -addr 127.0.0.1:0 -addr-file "$work/addr" \
-        -spool "$spool" -workers 1 -queue 8 >"$work/pufferd.log" 2>&1 &
+        -spool "$spool" -workers 1 -queue 8 -drain-grace 300ms \
+        >"$work/pufferd.log" 2>&1 &
     daemon_pid=$!
     for _ in $(seq 1 100); do
         [ -s "$work/addr" ] && break
@@ -52,10 +57,31 @@ ctl() { "$work/pufferctl" "$@"; }
 
 start_daemon
 
-log "submit a quick job and stream it to completion"
-ctl submit -profile MEDIA_SUBSYS -scale 3000 -seed 5 -watch | tee "$work/watch.log"
+log "probe liveness and readiness on a fresh daemon"
+curl -sf "$PUFFERD_ADDR/healthz" >/dev/null || { echo "/healthz not 200 on a healthy daemon"; exit 1; }
+curl -sf "$PUFFERD_ADDR/readyz" >/dev/null || { echo "/readyz not 200 on a healthy daemon"; exit 1; }
+
+log "submit a quick job with -trace and stream it to completion"
+ctl submit -profile MEDIA_SUBSYS -scale 3000 -seed 5 -watch -trace "$work/trace.json" | tee "$work/watch.log"
 grep -q "state: done" "$work/watch.log" || { echo "stream never reached done"; exit 1; }
 grep -q "stage dp done" "$work/watch.log" || { echo "stream missing stage progress"; exit 1; }
+
+log "merged trace: client and daemon spans under one trace ID"
+[ -s "$work/trace.json" ] || { echo "submit -trace wrote no trace"; exit 1; }
+ids="$(grep -o '"trace_id":"[0-9a-f]*"' "$work/trace.json" | sort -u | wc -l)"
+[ "$ids" = "1" ] || { echo "merged trace has $ids distinct trace IDs, want 1"; exit 1; }
+for span in client.submit serve.job serve.queue_wait run place.gp; do
+    grep -q "\"$span\"" "$work/trace.json" || { echo "merged trace missing span $span"; exit 1; }
+done
+grep -q '"pufferctl"' "$work/trace.json" && grep -q '"pufferd"' "$work/trace.json" \
+    || { echo "merged trace missing a process lane"; exit 1; }
+
+log "/metrics exposes the service latency histograms"
+curl -sf "$PUFFERD_ADDR/metrics" >"$work/metrics.txt"
+grep -q 'serve_job_wall_seconds_bucket{le="+Inf"}' "$work/metrics.txt" \
+    || { echo "/metrics missing job wall histogram"; exit 1; }
+grep -q '# TYPE serve_queue_wait_seconds histogram' "$work/metrics.txt" \
+    || { echo "/metrics missing queue wait histogram type"; exit 1; }
 
 quick_id="$(awk '/^job /{print $2; exit}' "$work/watch.log")"
 log "quick job $quick_id: fetch result + artifact"
@@ -72,16 +98,40 @@ for _ in $(seq 1 100); do
 done
 ctl status "$slow_id" | grep -q '"state": "running"' || { echo "slow job never started"; exit 1; }
 sleep 0.5 # let the placement engine get some iterations in
+
+# Readiness is sampled with one keep-alive curl running thousands of
+# sub-millisecond requests across the SIGTERM: the recorded codes must
+# show ready (200) give way to draining (503 — held open for the
+# daemon's -drain-grace window) before the daemon exits (000).
+# /healthz, sampled the same way, must never leave 200 while the
+# process lives — liveness holds through the drain.
+curl -s -w '%{stderr}%{http_code}\n' "$PUFFERD_ADDR/readyz?i=[1-4000]" \
+    >/dev/null 2>"$work/readyz.codes" &
+readyz_poller=$!
+curl -s -w '%{stderr}%{http_code}\n' "$PUFFERD_ADDR/healthz?i=[1-4000]" \
+    >/dev/null 2>"$work/healthz.codes" &
+healthz_poller=$!
+sleep 0.1 # a few pre-signal samples prove the pollers see 200 first
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || true
 daemon_pid=""
+# Let the pollers run out their URL lists (refused connections are
+# sub-millisecond once the daemon is gone); killing them could drop
+# buffered code lines.
+wait "$readyz_poller" "$healthz_poller" || true
+
+log "draining: /readyz flipped 503 while /healthz stayed 200"
+grep -q '^200$' "$work/readyz.codes" || { echo "/readyz poller never saw the ready daemon"; exit 1; }
+grep -q '^503$' "$work/readyz.codes" || { echo "/readyz never flipped 503 during drain"; exit 1; }
+grep -qv -e '^200$' -e '^000$' "$work/healthz.codes" && { echo "/healthz left 200 during drain"; exit 1; }
+grep -q '^200$' "$work/healthz.codes" || { echo "/healthz poller never saw the live daemon"; exit 1; }
 
 manifest="$spool/jobs/$slow_id/manifest.json"
 grep -q '"state": "parked"' "$manifest" || { cat "$manifest"; echo "job did not park on SIGTERM"; exit 1; }
 log "job $slow_id parked; restarting the daemon over the same spool"
 
 start_daemon
-grep -q "re-admitted 1 interrupted job" "$work/pufferd.log" || { cat "$work/pufferd.log"; echo "daemon did not re-admit the parked job"; exit 1; }
+grep -q 'msg="recovered interrupted jobs" count=1' "$work/pufferd.log" || { cat "$work/pufferd.log"; echo "daemon did not re-admit the parked job"; exit 1; }
 
 log "wait for the resumed job to finish"
 ctl wait -timeout 180s "$slow_id"
@@ -123,7 +173,7 @@ grep -q '"state": "parked"' "$smanifest" || { cat "$smanifest"; echo "session di
 
 log "restart and apply a second delta — session must rehydrate"
 start_daemon
-grep -q "parked 1 ECO session" "$work/pufferd.log" || { cat "$work/pufferd.log"; echo "daemon did not report the parked session"; exit 1; }
+grep -q 'msg="parked ECO sessions; next delta rehydrates" count=1' "$work/pufferd.log" || { cat "$work/pufferd.log"; echo "daemon did not report the parked session"; exit 1; }
 cat >"$work/delta2.json" <<'EOF'
 {"format":"puffer/delta/v1","weights":[{"net":2,"weight":4}],"padding":[{"cell":0,"pad_w":0}]}
 EOF
