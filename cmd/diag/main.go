@@ -15,7 +15,11 @@
 //     congestion-engine statistics, last HPWL/overflow, and the warm grid;
 //   - -ops http://addr: fetch and render a running pufferd's operational
 //     snapshot (/api/v1/ops) — queue pressure, latency histogram digests,
-//     and live SLO status.
+//     and live SLO status;
+//   - -cas dir: inspect a coordinator's content-addressed store — blobs
+//     with sizes and refcounts, cached results with their digest triples,
+//     and on-disk orphans; -cas-gc additionally lists what a GC pass would
+//     delete (dry run), -cas-gc-apply deletes it.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 
 	"puffer"
 	"puffer/internal/baseline"
+	"puffer/internal/cas"
 	"puffer/internal/eco"
 	"puffer/internal/obs"
 	"puffer/internal/router"
@@ -47,7 +52,17 @@ func main() {
 	ckptPath := flag.String("ckpt", "", "validate and summarize this pipeline checkpoint instead of running comparisons")
 	sessionPath := flag.String("session", "", "validate and summarize this ECO session snapshot instead of running comparisons")
 	opsAddr := flag.String("ops", "", "render the operational snapshot of the pufferd at this base URL instead of running comparisons")
+	casDir := flag.String("cas", "", "inspect the content-addressed store rooted at this directory instead of running comparisons")
+	casGC := flag.Bool("cas-gc", false, "with -cas: list the blobs a GC pass would delete (dry run)")
+	casGCApply := flag.Bool("cas-gc-apply", false, "with -cas: actually delete unreferenced blobs")
 	flag.Parse()
+
+	if *casDir != "" {
+		if err := summarizeCAS(*casDir, *casGC, *casGCApply); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *opsAddr != "" {
 		if err := summarizeOps(*opsAddr); err != nil {
@@ -293,14 +308,14 @@ func summarizeOps(base string) error {
 		return fmt.Errorf("ops endpoint: %s", resp.Status)
 	}
 	var ops struct {
-		Status        string             `json:"status"`
-		UptimeSeconds float64            `json:"uptime_seconds"`
-		QueueDepth    int                `json:"queue_depth"`
-		QueueCap      int                `json:"queue_cap"`
-		Workers       int                `json:"workers"`
-		ActiveJobs    int                `json:"active_jobs"`
-		Sessions      map[string]int     `json:"sessions"`
-		Counters      map[string]int64   `json:"counters"`
+		Status        string           `json:"status"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		QueueDepth    int              `json:"queue_depth"`
+		QueueCap      int              `json:"queue_cap"`
+		Workers       int              `json:"workers"`
+		ActiveJobs    int              `json:"active_jobs"`
+		Sessions      map[string]int   `json:"sessions"`
+		Counters      map[string]int64 `json:"counters"`
 		Histograms    map[string]struct {
 			Count uint64  `json:"count"`
 			Mean  float64 `json:"mean_seconds"`
@@ -353,6 +368,82 @@ func summarizeOps(base string) error {
 		fmt.Printf("counters (%d):\n", n)
 		for _, k := range sortedKeys(ops.Counters) {
 			fmt.Printf("  %-36s %d\n", k, ops.Counters[k])
+		}
+	}
+	return nil
+}
+
+// summarizeCAS opens a content-addressed store read-mostly and prints its
+// inventory: every blob (size, refcount, GC eligibility), every cached
+// result with its (design, config, engine) triple, and any orphans — files
+// on disk the index doesn't know, or indexed blobs whose file is gone.
+func summarizeCAS(dir string, gc, apply bool) error {
+	store, err := cas.Open(dir)
+	if err != nil {
+		return err
+	}
+	idx := store.Snapshot()
+	garbage := map[cas.Digest]bool{}
+	for _, d := range store.Garbage() {
+		garbage[d] = true
+	}
+
+	fmt.Printf("cas store %s: %d blobs, %d cached results\n\n", dir, len(idx.Blobs), len(idx.Results))
+	if len(idx.Blobs) > 0 {
+		fmt.Printf("%-22s %12s %5s  %s\n", "BLOB", "BYTES", "REFS", "GC")
+		var totalBytes int64
+		blobs := make([]cas.BlobInfo, len(idx.Blobs))
+		copy(blobs, idx.Blobs)
+		sort.Slice(blobs, func(i, j int) bool { return blobs[i].Digest < blobs[j].Digest })
+		for _, b := range blobs {
+			mark := ""
+			if garbage[b.Digest] {
+				mark = "eligible"
+			}
+			fmt.Printf("%-22s %12d %5d  %s\n", b.Digest.Short(), b.Size, b.Refs, mark)
+			totalBytes += b.Size
+		}
+		fmt.Printf("%-22s %12d\n\n", "total", totalBytes)
+	}
+
+	if len(idx.Results) > 0 {
+		fmt.Printf("%-22s %-22s %-18s %-14s %12s\n", "DESIGN", "CONFIG", "ENGINE", "JOB", "HPWL")
+		results := make([]cas.ResultEntry, len(idx.Results))
+		copy(results, idx.Results)
+		sort.Slice(results, func(i, j int) bool { return results[i].Key() < results[j].Key() })
+		for _, r := range results {
+			fmt.Printf("%-22s %-22s %-18s %-14s %12.0f\n",
+				r.Design.Short(), r.Config.Short(), r.Engine, r.Job, r.HPWL)
+		}
+		fmt.Println()
+	}
+
+	onDisk, missing, err := store.Orphans()
+	if err != nil {
+		return err
+	}
+	for _, d := range onDisk {
+		fmt.Printf("orphan on disk (not indexed): %s\n", d.Short())
+	}
+	for _, d := range missing {
+		fmt.Printf("indexed but missing on disk:  %s\n", d.Short())
+	}
+
+	switch {
+	case apply:
+		removed, err := store.GC()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("gc: removed %d blobs\n", len(removed))
+		for _, d := range removed {
+			fmt.Printf("  %s\n", d.Short())
+		}
+	case gc:
+		eligible := store.Garbage()
+		fmt.Printf("gc dry run: %d blobs eligible\n", len(eligible))
+		for _, d := range eligible {
+			fmt.Printf("  %s\n", d.Short())
 		}
 	}
 	return nil

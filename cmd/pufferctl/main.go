@@ -16,6 +16,12 @@
 //	wait     poll until a job reaches a terminal state
 //	session  interactive ECO sessions: open | delta | status | watch | close | list
 //	top      render the daemon's operational snapshot (/api/v1/ops)
+//	fleet    render a coordinator's worker registry (/api/v1/nodes)
+//
+// Against a fleet coordinator every job command works unchanged — the
+// coordinator proxies status, results, artifacts, and event streams.
+// submit additionally honors -tenant (fair-share lane) and -nocache
+// (bypass the coordinator's content-addressed result cache).
 //
 // submit honors the daemon's backpressure: with -retry N, a 429 response
 // is retried up to N times after the server's Retry-After hint.
@@ -53,7 +59,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait|session|top} ...")
+		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait|session|top|fleet} ...")
 		os.Exit(2)
 	}
 	c := &client{base: strings.TrimSuffix(*addr, "/")}
@@ -79,6 +85,8 @@ func main() {
 		err = c.session(rest)
 	case "top":
 		err = c.top()
+	case "fleet":
+		err = c.fleet()
 	default:
 		err = fmt.Errorf("unknown command %q", cmd)
 	}
@@ -127,6 +135,8 @@ func (c *client) submit(args []string) error {
 		watch    = fs.Bool("watch", false, "stream progress until the job finishes")
 		retry    = fs.Int("retry", 0, "retry a full queue up to N times, honoring Retry-After")
 		trace    = fs.String("trace", "", "wait for the job and write a merged client+daemon Chrome trace here")
+		tenant   = fs.String("tenant", "", "tenant name for fleet fair-share scheduling (coordinator only)")
+		nocache  = fs.Bool("nocache", false, "force a full run even if the coordinator has a cached result")
 	)
 	fs.Parse(args)
 
@@ -163,6 +173,9 @@ func (c *client) submit(args []string) error {
 		}
 		spec["strategy"] = json.RawMessage(data)
 	}
+	if *nocache {
+		spec["nocache"] = true
+	}
 
 	// With -trace, this process becomes the root of the distributed trace:
 	// the submit span's traceparent rides the POST, the daemon roots its
@@ -181,7 +194,7 @@ func (c *client) submit(args []string) error {
 
 	body, _ := json.Marshal(spec)
 	postStart := time.Now()
-	resp, err := c.postWithRetry(c.base+"/api/v1/jobs", body, *retry, traceparent)
+	resp, err := c.postWithRetry(c.base+"/api/v1/jobs", body, *retry, traceparent, *tenant)
 	if err != nil {
 		return err
 	}
@@ -190,8 +203,9 @@ func (c *client) submit(args []string) error {
 		return err
 	}
 	var m struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
 	}
 	raw, _ := io.ReadAll(resp.Body)
 	if err := json.Unmarshal(raw, &m); err != nil {
@@ -199,7 +213,11 @@ func (c *client) submit(args []string) error {
 	}
 	clientSpan.RecordChild("client.request", postStart, time.Since(postStart))
 	clientSpan.SetArg("job", m.ID)
-	fmt.Printf("job %s %s\n", m.ID, m.State)
+	if m.CacheHit {
+		fmt.Printf("job %s %s (cache hit)\n", m.ID, m.State)
+	} else {
+		fmt.Printf("job %s %s\n", m.ID, m.State)
+	}
 	if *trace == "" {
 		if *watch {
 			return c.streamEvents(m.ID)
@@ -311,8 +329,9 @@ func (c *client) fetchArtifact(id, name string) ([]byte, error) {
 // times, sleeping out the server's Retry-After hint (a bounded default
 // when the header is absent or unparsable). Any other response — success
 // or failure — returns immediately. A non-empty traceparent rides every
-// attempt so the daemon adopts the client's trace context.
-func (c *client) postWithRetry(url string, body []byte, retries int, traceparent string) (*http.Response, error) {
+// attempt so the daemon adopts the client's trace context; a non-empty
+// tenant rides as X-Puffer-Tenant for fleet fair-share scheduling.
+func (c *client) postWithRetry(url string, body []byte, retries int, traceparent, tenant string) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
@@ -321,6 +340,9 @@ func (c *client) postWithRetry(url string, body []byte, retries int, traceparent
 		req.Header.Set("Content-Type", "application/json")
 		if traceparent != "" {
 			req.Header.Set(obs.TraceparentHeader, traceparent)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Puffer-Tenant", tenant)
 		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
@@ -875,6 +897,52 @@ func (c *client) top() error {
 		for _, name := range sortedKeys(ops.Counters) {
 			fmt.Printf("%-36s %8d\n", name, ops.Counters[name])
 		}
+	}
+	return nil
+}
+
+// fleet renders a coordinator's worker registry: one row per known node
+// with liveness, heartbeat age, and the load snapshot dispatch sees.
+func (c *client) fleet() error {
+	resp, err := http.Get(c.base + "/api/v1/nodes")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var rows []struct {
+		ID           string  `json:"id"`
+		Addr         string  `json:"addr"`
+		Engine       string  `json:"engine"`
+		Live         bool    `json:"live"`
+		HeartbeatAge float64 `json:"heartbeat_age_seconds"`
+		Jobs         int     `json:"jobs"`
+		Stats        struct {
+			Draining   bool `json:"draining"`
+			QueueDepth int  `json:"queue_depth"`
+			QueueCap   int  `json:"queue_cap"`
+			Workers    int  `json:"workers"`
+			ActiveJobs int  `json:"active_jobs"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-24s %-18s %-6s %9s %5s %7s %7s\n",
+		"NODE", "ADDR", "ENGINE", "LIVE", "HEARTBEAT", "JOBS", "QUEUE", "ACTIVE")
+	for _, r := range rows {
+		live := "yes"
+		switch {
+		case !r.Live:
+			live = "no"
+		case r.Stats.Draining:
+			live = "drain"
+		}
+		fmt.Printf("%-16s %-24s %-18s %-6s %8.1fs %5d %3d/%-3d %7d\n",
+			r.ID, r.Addr, r.Engine, live, r.HeartbeatAge, r.Jobs,
+			r.Stats.QueueDepth, r.Stats.QueueCap, r.Stats.ActiveJobs)
 	}
 	return nil
 }

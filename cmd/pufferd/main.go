@@ -15,6 +15,13 @@
 // the cold wall. Session warm state idle longer than -session-idle is
 // evicted (the spooled snapshot remains; the next delta rehydrates it).
 //
+// Fleet mode: `pufferd -coordinator` runs the fleet coordinator instead of
+// a worker — it owns a content-addressed result cache and dispatches
+// submissions to registered workers. A worker joins a fleet with
+// `pufferd -join http://coord:9090 -advertise http://me:8080`; it
+// heartbeats its load to the coordinator and otherwise behaves exactly as
+// stand-alone (the coordinator speaks the same job API any client does).
+//
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
 // (submissions get 503), cancels running jobs so they park at their last
 // checkpoint, parks open ECO sessions at their last applied delta, and
@@ -35,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"puffer/internal/coord"
 	"puffer/internal/obs"
 	"puffer/internal/serve"
 )
@@ -53,6 +61,21 @@ func main() {
 		drainGrace   = flag.Duration("drain-grace", 0, "hold /readyz at 503 this long before parking jobs on shutdown (lets load balancers drain)")
 		verbose      = flag.Bool("v", true, "log job lifecycle events")
 		debugLog     = flag.Bool("log-debug", false, "also log per-request and probe lines")
+
+		// Fleet: worker side.
+		join      = flag.String("join", "", "coordinator base URL to register this worker with (fleet mode)")
+		advertise = flag.String("advertise", "", "URL workers advertise to the coordinator (default http://<bound addr>)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "heartbeat period when joined to a coordinator")
+		nodeID    = flag.String("node-id", "", "stable node ID for fleet registration (default: hostname)")
+
+		// Fleet: coordinator side.
+		coordinator = flag.Bool("coordinator", false, "run as the fleet coordinator instead of a worker")
+		casDir      = flag.String("cas", "", "content-addressed store directory (coordinator; default <spool>/cas)")
+		deadAfter   = flag.Duration("dead-after", 10*time.Second, "heartbeat age past which a worker is dead and its jobs fail over (coordinator)")
+		poll        = flag.Duration("poll", time.Second, "dispatched-job watch interval (coordinator)")
+		pendingCap  = flag.Int("pending", 64, "fleet-wide pending-job cap before submissions get 429 (coordinator)")
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant dispatch rate limit in jobs/sec (coordinator; 0 = unlimited)")
+		tenantBurst = flag.Int("tenant-burst", 4, "per-tenant dispatch burst (coordinator)")
 	)
 	flag.Parse()
 
@@ -67,6 +90,20 @@ func main() {
 		level = slog.LevelWarn
 	}
 	logger := obs.NewLogger(os.Stderr, level)
+
+	if *coordinator && *join != "" {
+		log.Fatal("pufferd: -coordinator and -join are mutually exclusive")
+	}
+	if *coordinator {
+		runCoordinator(logger, coordFlags{
+			addr: *addr, addrFile: *addrFile, spool: *spool, casDir: *casDir,
+			deadAfter: *deadAfter, poll: *poll, pendingCap: *pendingCap,
+			tenantRate: *tenantRate, tenantBurst: *tenantBurst,
+			drainTimeout: *drainTimeout,
+		})
+		return
+	}
+
 	srv, err := serve.New(serve.Config{
 		SpoolDir:          *spool,
 		QueueCap:          *queueCap,
@@ -102,6 +139,41 @@ func main() {
 	fmt.Printf("pufferd listening on %s (spool %s, %d workers, queue %d)\n",
 		bound, *spool, *workers, *queueCap)
 
+	// Joined to a fleet: announce until shutdown. The manifest callback
+	// snapshots live load per heartbeat so dispatch sees fresh depth.
+	annCtx, annCancel := context.WithCancel(context.Background())
+	defer annCancel()
+	if *join != "" {
+		id := *nodeID
+		if id == "" {
+			if h, err := os.Hostname(); err == nil {
+				id = h
+			} else {
+				id = "worker-" + bound
+			}
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + bound
+		}
+		ann := &coord.Announcer{
+			Coordinator: *join,
+			Interval:    *heartbeat,
+			Log:         logger,
+			Manifest: func() coord.NodeManifest {
+				return coord.NodeManifest{
+					Format: coord.NodeManifestFormat,
+					ID:     id,
+					Addr:   adv,
+					Engine: serve.EngineVersion,
+					Stats:  srv.Stats(),
+				}
+			},
+		}
+		go ann.Run(annCtx)
+		logger.Info("joined fleet", "coordinator", *join, "node", id, "advertise", adv)
+	}
+
 	hsrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hsrv.Serve(ln) }()
@@ -116,11 +188,75 @@ func main() {
 		if err := srv.Drain(ctx); err != nil {
 			logger.Error("drain", "error", err)
 		}
+		annCancel() // last heartbeats already carried Draining stats
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer shutCancel()
 		hsrv.Shutdown(shutCtx)
 		logger.Info("drained; interrupted jobs resume on next start")
 	case err := <-errCh:
 		log.Fatalf("pufferd: serve: %v", err)
+	}
+}
+
+type coordFlags struct {
+	addr, addrFile, spool, casDir string
+	deadAfter, poll, drainTimeout time.Duration
+	pendingCap, tenantBurst       int
+	tenantRate                    float64
+}
+
+// runCoordinator is the -coordinator main: same listen/drain skeleton as
+// the worker, around a coord.Server instead of a serve.Server.
+func runCoordinator(logger *slog.Logger, f coordFlags) {
+	cs, err := coord.New(coord.Config{
+		SpoolDir:    f.spool,
+		CASDir:      f.casDir,
+		DeadAfter:   f.deadAfter,
+		Poll:        f.poll,
+		PendingCap:  f.pendingCap,
+		TenantRate:  f.tenantRate,
+		TenantBurst: f.tenantBurst,
+		Log:         logger,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cs.Recovered > 0 {
+		logger.Info("recovered fleet jobs", "count", cs.Recovered, "spool", f.spool)
+	}
+	cs.Start()
+
+	ln, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if f.addrFile != "" {
+		if err := os.WriteFile(f.addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("pufferd coordinator listening on %s (spool %s, dead-after %s)\n",
+		bound, f.spool, f.deadAfter)
+
+	hsrv := &http.Server{Handler: cs.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hsrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logger.Info("signal received, stopping dispatch", "signal", sig.String())
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), f.drainTimeout)
+		defer shutCancel()
+		if err := cs.Drain(shutCtx); err != nil {
+			logger.Error("drain", "error", err)
+		}
+		hsrv.Shutdown(shutCtx)
+		cs.Close()
+		logger.Info("coordinator stopped; pending jobs re-admit on next start")
+	case err := <-errCh:
+		log.Fatalf("pufferd: coordinator serve: %v", err)
 	}
 }

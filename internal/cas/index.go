@@ -1,0 +1,124 @@
+package cas
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// IndexFormat identifies the store index JSON document version.
+const IndexFormat = "puffer/cas-index/v1"
+
+// BlobInfo is one stored blob's index record.
+type BlobInfo struct {
+	// Digest is the blob's content address (also its file name under
+	// blobs/).
+	Digest Digest `json:"digest"`
+	// Size is the blob's byte length.
+	Size int64 `json:"size"`
+	// Refs counts live (non-terminal) jobs currently referencing the
+	// blob. A zero-ref blob is garbage unless a result entry pins its
+	// design digest.
+	Refs int `json:"refs"`
+}
+
+// ResultEntry maps one (design, config, engine) triple to the job that
+// computed it. The job's spooled manifest holds the JobResult and the
+// artifact files; the entry carries just enough (HPWL, result digest) for
+// diagnostics without a spool read.
+type ResultEntry struct {
+	Design Digest `json:"design"`
+	Config Digest `json:"config"`
+	// Engine is the engine version string the result was computed with;
+	// an engine upgrade naturally invalidates the whole cache without
+	// deleting anything.
+	Engine string `json:"engine"`
+	// Job is the coordinator job ID whose spool directory holds the
+	// result and artifacts.
+	Job string `json:"job"`
+	// ResultDigest is the content address of the canonical JobResult
+	// JSON — every cache hit of this entry reports the same digest.
+	ResultDigest Digest `json:"result_digest,omitempty"`
+	// HPWL mirrors the result's headline number for fleet diagnostics.
+	HPWL      float64   `json:"hpwl,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Key returns the entry's composite lookup key.
+func (e *ResultEntry) Key() string { return ResultKey(e.Design, e.Config, e.Engine) }
+
+// Index is the store's durable catalog: blob refcounts plus the result
+// index. It is rewritten atomically on every mutation.
+type Index struct {
+	Format  string        `json:"format"`
+	Blobs   []BlobInfo    `json:"blobs"`
+	Results []ResultEntry `json:"results"`
+}
+
+// ParseIndex decodes and validates a store index document. It rejects —
+// without mutating any state, it is a pure function — empty or truncated
+// input, JSON that is not an index document, foreign or missing format
+// strings, syntactically invalid digests, negative sizes or refcounts,
+// duplicate blob digests, and duplicate (design, config, engine) result
+// keys. The fuzz target FuzzParseCASIndex drives this.
+func ParseIndex(data []byte) (*Index, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("cas: index is empty")
+	}
+	idx := &Index{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(idx); err != nil {
+		return nil, fmt.Errorf("cas: decode index (truncated or not a CAS index?): %w", err)
+	}
+	// Trailing garbage after the document is corruption, not an index.
+	if dec.More() {
+		return nil, fmt.Errorf("cas: index has trailing data")
+	}
+	if idx.Format != IndexFormat {
+		return nil, fmt.Errorf("cas: index format %q, want %q", idx.Format, IndexFormat)
+	}
+	seenBlobs := make(map[Digest]struct{}, len(idx.Blobs))
+	for i := range idx.Blobs {
+		b := &idx.Blobs[i]
+		if !b.Digest.Valid() {
+			return nil, fmt.Errorf("cas: blob %d: invalid digest %q", i, b.Digest)
+		}
+		if _, dup := seenBlobs[b.Digest]; dup {
+			return nil, fmt.Errorf("cas: duplicate blob digest %s", b.Digest)
+		}
+		seenBlobs[b.Digest] = struct{}{}
+		if b.Size < 0 {
+			return nil, fmt.Errorf("cas: blob %s: negative size %d", b.Digest, b.Size)
+		}
+		if b.Refs < 0 {
+			return nil, fmt.Errorf("cas: blob %s: negative refcount %d", b.Digest, b.Refs)
+		}
+	}
+	seenResults := make(map[string]struct{}, len(idx.Results))
+	for i := range idx.Results {
+		e := &idx.Results[i]
+		if !e.Design.Valid() {
+			return nil, fmt.Errorf("cas: result %d: invalid design digest %q", i, e.Design)
+		}
+		if !e.Config.Valid() {
+			return nil, fmt.Errorf("cas: result %d: invalid config digest %q", i, e.Config)
+		}
+		if e.Engine == "" {
+			return nil, fmt.Errorf("cas: result %d: empty engine version", i)
+		}
+		if e.Job == "" {
+			return nil, fmt.Errorf("cas: result %d: empty job ID", i)
+		}
+		if e.ResultDigest != "" && !e.ResultDigest.Valid() {
+			return nil, fmt.Errorf("cas: result %d: invalid result digest %q", i, e.ResultDigest)
+		}
+		key := e.Key()
+		if _, dup := seenResults[key]; dup {
+			return nil, fmt.Errorf("cas: duplicate result key %s", key)
+		}
+		seenResults[key] = struct{}{}
+	}
+	return idx, nil
+}

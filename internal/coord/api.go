@@ -1,0 +1,421 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"puffer/internal/cas"
+	"puffer/internal/obs"
+	"puffer/internal/serve"
+	"puffer/internal/synth"
+)
+
+// TenantHeader names the submission header carrying the tenant identity
+// for fairness and rate limiting. Absent means tenant "default".
+const TenantHeader = "X-Puffer-Tenant"
+
+// maxSpecBytes bounds a submission body, matching the worker's bound.
+const maxSpecBytes = 64 << 20
+
+// Handler builds the coordinator's HTTP surface. The job routes mirror the
+// single-node daemon's, so pufferctl points at a coordinator unchanged;
+// the fleet routes are coordinator-only:
+//
+//	POST   /api/v1/nodes                  worker registration/heartbeat (puffer/node/v1)
+//	GET    /api/v1/nodes                  fleet node table (pufferctl fleet)
+//	POST   /api/v1/jobs                   submit (cache check → tenant queue → dispatch)
+//	GET    /api/v1/jobs[/{id}...]         reads, proxied to the owning worker while running
+//	GET    /healthz /readyz /api/v1/ops   lifecycle (readyz: 503 with "no_workers" when fleet is empty)
+//	GET    /metrics /debug/...            coordinator registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/nodes", s.handleNodePost)
+	mux.HandleFunc("GET /api/v1/nodes", s.handleNodeList)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /api/v1/ops", s.handleOps)
+	debug := obs.NewDebugMux(s.reg)
+	mux.Handle("/debug/", debug)
+	mux.Handle("/metrics", debug)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "pufferd fleet coordinator\n\n/api/v1/jobs\n/api/v1/nodes\n/api/v1/ops\n/healthz\n/readyz\n/metrics\n")
+	})
+	return s.withTelemetry(mux)
+}
+
+// withTelemetry mirrors the worker daemon's wrapper: request latency into
+// coord.http_request_seconds plus one structured log line per request.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if tc, err := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); err == nil {
+			ctx = obs.ContextWithLabels(ctx,
+				slog.String("trace_id", tc.TraceID.String()),
+				slog.String("span_id", tc.SpanID.String()))
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+		wall := time.Since(start)
+		s.hHTTP.Observe(wall.Seconds())
+		level := slog.LevelInfo
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics" ||
+			r.URL.Path == "/api/v1/nodes" || strings.HasPrefix(r.URL.Path, "/debug/") {
+			level = slog.LevelDebug
+		}
+		s.log.LogAttrs(ctx, level, "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Duration("wall", wall.Round(time.Microsecond)))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleNodePost is registration + heartbeat in one: workers post their
+// manifest on an interval and the coordinator upserts.
+func (s *Server) handleNodePost(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "read node manifest: %v", err)
+		return
+	}
+	mf, err := ParseNodeManifest(data)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if mf.Engine != serve.EngineVersion {
+		// Registered but never dispatched to; surfaced in the node table
+		// so a mixed-version rollout is visible, not silent.
+		s.log.Warn("node engine mismatch", "node", mf.ID, "engine", mf.Engine, "want", serve.EngineVersion)
+	}
+	s.register(mf)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":                 true,
+		"dead_after_seconds": s.cfg.DeadAfter.Seconds(),
+	})
+}
+
+// nodeRow is one row of the fleet table.
+type nodeRow struct {
+	ID           string      `json:"id"`
+	Addr         string      `json:"addr"`
+	Engine       string      `json:"engine"`
+	Live         bool        `json:"live"`
+	HeartbeatAge float64     `json:"heartbeat_age_seconds"`
+	Jobs         int         `json:"jobs"`
+	Stats        serve.Stats `json:"stats"`
+}
+
+func (s *Server) nodeRows() []nodeRow {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]nodeRow, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, nodeRow{
+			ID:           n.mf.ID,
+			Addr:         n.mf.Addr,
+			Engine:       n.mf.Engine,
+			Live:         now.Sub(n.lastSeen) <= s.cfg.DeadAfter,
+			HeartbeatAge: now.Sub(n.lastSeen).Seconds(),
+			Jobs:         len(n.jobs),
+			Stats:        n.mf.Stats,
+		})
+	}
+	sortNodeRows(out)
+	return out
+}
+
+func sortNodeRows(rows []nodeRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].ID < rows[j-1].ID; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func (s *Server) handleNodeList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.nodeRows())
+}
+
+// handleSubmit admits a job at the fleet level: spec validation (same
+// rules as a worker), content addressing (design + config digests), the
+// result-cache check, and tenant-fair queueing for dispatch.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		apiError(w, http.StatusServiceUnavailable, "coordinator is draining; not admitting jobs")
+		return
+	}
+	var spec serve.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		apiError(w, http.StatusBadRequest, "decode job spec: %v", err)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		apiError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	if spec.Profile != "" {
+		if _, err := synth.ProfileByName(spec.Profile); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	tenant := sanitizeTenant(r.Header.Get(TenantHeader))
+
+	// Content addresses: the design (blob for uploads, identity for
+	// synthetic profiles) and the normalized result-determining config.
+	var designDigest cas.Digest
+	if len(spec.Bookshelf) > 0 {
+		blob, err := cas.EncodeBookshelf(spec.Bookshelf)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		d, existed, err := s.store.Put(blob)
+		if err != nil {
+			apiError(w, http.StatusInternalServerError, "store design: %v", err)
+			return
+		}
+		if existed {
+			s.reg.Counter("coord.design_blob_dedup").Inc()
+		}
+		designDigest = d
+	} else {
+		designDigest = cas.ProfileDesignDigest(spec.Profile, spec.Scale, spec.Seed)
+	}
+	configDigest, err := cas.Config{
+		Kind:     spec.Kind,
+		MaxIters: spec.MaxIters,
+		Route:    spec.Route,
+		Budget:   spec.Budget,
+		Seed:     spec.Seed,
+		Strategy: spec.Strategy,
+	}.Digest()
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "config digest: %v", err)
+		return
+	}
+
+	// Cache check: a byte-equivalent prior job's result answers
+	// immediately — no queue, no dispatch, no pipeline run.
+	if !spec.NoCache {
+		if hit, ok := s.cacheHit(designDigest, configDigest); ok {
+			m := s.newManifest(spec, r, tenant, designDigest, configDigest)
+			now := time.Now()
+			m.State = serve.StateDone
+			m.CacheHit = true
+			m.Origin = hit.Job
+			m.ResultDigest = string(hit.ResultDigest)
+			m.FinishedAt = &now
+			if origin, err := s.spool.ReadManifest(hit.Job); err == nil {
+				m.Result = origin.Result
+				m.Stage = origin.Stage
+			}
+			if err := s.spool.CreateJob(m); err != nil {
+				apiError(w, http.StatusInternalServerError, "spool job: %v", err)
+				return
+			}
+			s.reg.Counter("coord.cache_hits").Inc()
+			s.publishGauges()
+			s.log.InfoContext(r.Context(), "cache hit", "job", m.ID, "origin", hit.Job,
+				"design", designDigest.Short(), "config", configDigest.Short())
+			writeJSON(w, http.StatusAccepted, m)
+			return
+		}
+	}
+	s.reg.Counter("coord.cache_misses").Inc()
+
+	// Fleet-level backpressure in front of the workers' own queues.
+	s.mu.Lock()
+	full := s.pending >= s.cfg.PendingCap
+	s.mu.Unlock()
+	if full {
+		retry := s.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+		apiError(w, http.StatusTooManyRequests,
+			"fleet queue full (%d pending); retry in %s", s.cfg.PendingCap, retry)
+		return
+	}
+
+	m := s.newManifest(spec, r, tenant, designDigest, configDigest)
+	if len(spec.Bookshelf) > 0 {
+		// The blob is the upload's durable home; the manifest carries only
+		// its digest. A ref pins it against GC until the job finishes.
+		m.Spec.Bookshelf = nil
+		if err := s.store.AddRef(designDigest); err != nil {
+			apiError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	if err := s.spool.CreateJob(m); err != nil {
+		apiError(w, http.StatusInternalServerError, "spool job: %v", err)
+		return
+	}
+	s.reg.Counter("coord.jobs_submitted").Inc()
+	s.log.InfoContext(r.Context(), "job queued", "job", m.ID, "tenant", tenant,
+		"design", designDigest.Short(), "config", configDigest.Short())
+	s.enqueue(m)
+	writeJSON(w, http.StatusAccepted, m)
+}
+
+// cacheHit looks up a usable cached result: the index entry must still
+// have a readable done manifest behind it (a pruned spool drops the entry
+// rather than serving a dangling hit).
+func (s *Server) cacheHit(design, config cas.Digest) (cas.ResultEntry, bool) {
+	e, ok := s.store.Result(design, config, serve.EngineVersion)
+	if !ok {
+		return e, false
+	}
+	origin, err := s.spool.ReadManifest(e.Job)
+	if err != nil || origin.State != serve.StateDone {
+		s.store.DropResult(design, config, serve.EngineVersion)
+		return e, false
+	}
+	return e, true
+}
+
+func (s *Server) newManifest(spec serve.JobSpec, r *http.Request, tenant string, design, config cas.Digest) *serve.Manifest {
+	m := &serve.Manifest{
+		ID:           serve.NewJobID(),
+		Spec:         spec,
+		State:        serve.StateQueued,
+		Tenant:       tenant,
+		DesignDigest: string(design),
+		ConfigDigest: string(config),
+		SubmittedAt:  time.Now().UTC(),
+	}
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		if _, err := obs.ParseTraceparent(tp); err == nil {
+			m.TraceParent = tp
+		}
+	}
+	return m
+}
+
+// sanitizeTenant bounds the tenant label (it becomes a queue key and log
+// field, never a path).
+func sanitizeTenant(t string) string {
+	t = strings.TrimSpace(t)
+	if t == "" {
+		return "default"
+	}
+	if len(t) > 64 {
+		t = t[:64]
+	}
+	var b strings.Builder
+	for _, c := range t {
+		if c > ' ' && c < 0x7f && c != '/' && c != '\\' {
+			b.WriteRune(c)
+		}
+	}
+	if b.Len() == 0 {
+		return "default"
+	}
+	return b.String()
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "serving"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     status,
+		"role":       "coordinator",
+		"nodes_live": s.LiveNodes(),
+	})
+}
+
+// handleReady: a coordinator with zero live workers is alive but cannot
+// make progress, so it reports not-ready with reason "no_workers" — load
+// balancers stop routing submissions at a fleet that would only queue
+// them.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.Draining() {
+		reasons = append(reasons, "draining")
+	}
+	if s.LiveNodes() == 0 {
+		reasons = append(reasons, "no_workers")
+	}
+	s.mu.Lock()
+	if s.pending >= s.cfg.PendingCap {
+		reasons = append(reasons, "queue saturated")
+	}
+	s.mu.Unlock()
+	status := http.StatusOK
+	if len(reasons) > 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":   len(reasons) == 0,
+		"reasons": reasons,
+	})
+}
+
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	status := "serving"
+	if s.Draining() {
+		status = "draining"
+	}
+	snap := s.reg.Snapshot()
+	idx := s.store.Snapshot()
+	var blobBytes int64
+	for _, b := range idx.Blobs {
+		blobBytes += b.Size
+	}
+	s.mu.Lock()
+	pending := s.pending
+	dispatched := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"role":           "coordinator",
+		"uptime_seconds": time.Since(s.startedAt).Round(time.Second).Seconds(),
+		"nodes":          s.nodeRows(),
+		"pending":        pending,
+		"dispatched":     dispatched,
+		"pending_cap":    s.cfg.PendingCap,
+		"cache": map[string]any{
+			"blobs":      len(idx.Blobs),
+			"blob_bytes": blobBytes,
+			"results":    len(idx.Results),
+		},
+		"counters": snap.Counters,
+		"gauges":   snap.Gauges,
+	})
+}

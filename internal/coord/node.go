@@ -1,0 +1,156 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"puffer/internal/obs"
+	"puffer/internal/serve"
+)
+
+// NodeManifestFormat identifies the node manifest JSON document version —
+// the registration/heartbeat body a fleet worker posts to its coordinator.
+const NodeManifestFormat = "puffer/node/v1"
+
+// NodeManifest is one worker's self-description: identity, where the
+// coordinator can reach its job API, which engine revision it runs, and a
+// load snapshot. Workers post it on registration and then on every
+// heartbeat; the stats ride along so dispatch decisions never need a
+// reverse call into the worker.
+type NodeManifest struct {
+	Format string `json:"format"`
+	// ID is the worker's stable node name (unique within the fleet).
+	ID string `json:"id"`
+	// Addr is the base URL of the worker's job API, e.g. "http://host:port".
+	Addr string `json:"addr"`
+	// Engine is the worker's serve.EngineVersion. The coordinator only
+	// dispatches to engine-matched nodes — mixed-version fleets would break
+	// the result cache's correctness contract.
+	Engine string `json:"engine"`
+	// Stats is the worker's load at heartbeat time.
+	Stats serve.Stats `json:"stats"`
+}
+
+// ParseNodeManifest decodes and validates a node manifest. It is a pure
+// function — rejection mutates no registry state — and rejects empty or
+// truncated input, documents with unknown fields or trailing data, foreign
+// format strings, missing IDs, IDs with path or control characters,
+// unparsable or schemeless addresses, empty engine strings, and negative
+// load figures. The fuzz target FuzzParseNodeManifest drives this.
+func ParseNodeManifest(data []byte) (*NodeManifest, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("coord: node manifest is empty")
+	}
+	mf := &NodeManifest{}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(mf); err != nil {
+		return nil, fmt.Errorf("coord: decode node manifest (truncated or not a node manifest?): %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("coord: node manifest has trailing data")
+	}
+	if mf.Format != NodeManifestFormat {
+		return nil, fmt.Errorf("coord: node manifest format %q, want %q", mf.Format, NodeManifestFormat)
+	}
+	if mf.ID == "" || len(mf.ID) > 128 {
+		return nil, fmt.Errorf("coord: node ID must be 1-128 characters")
+	}
+	for _, c := range mf.ID {
+		if c <= ' ' || c == '/' || c == '\\' || c == 0x7f {
+			return nil, fmt.Errorf("coord: node ID %q has unsafe characters", mf.ID)
+		}
+	}
+	u, err := url.Parse(mf.Addr)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("coord: node addr %q is not an http(s) base URL", mf.Addr)
+	}
+	if mf.Engine == "" {
+		return nil, fmt.Errorf("coord: node manifest has no engine version")
+	}
+	st := mf.Stats
+	if st.QueueDepth < 0 || st.QueueCap < 0 || st.Workers < 0 || st.ActiveJobs < 0 {
+		return nil, fmt.Errorf("coord: node stats have negative figures")
+	}
+	return mf, nil
+}
+
+// Announcer posts a worker's node manifest to a coordinator on an
+// interval. It is the entire worker side of fleet membership: the job API
+// itself is the unmodified single-node serve.Server.
+type Announcer struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Manifest is called per heartbeat so the load snapshot is fresh.
+	Manifest func() NodeManifest
+	// Interval is the heartbeat period (default 2s).
+	Interval time.Duration
+	// Client is the HTTP client (default: 5s-timeout client).
+	Client *http.Client
+	// Log receives announce failures (nil = silent).
+	Log *slog.Logger
+}
+
+// Run heartbeats until ctx is canceled. The first announcement is
+// immediate (registration); failures log and retry on the next tick —
+// a worker outliving a coordinator restart re-registers by just
+// continuing to heartbeat.
+func (a *Announcer) Run(ctx context.Context) {
+	interval := a.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	client := a.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	log := a.Log
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		if err := a.announce(ctx, client); err != nil && ctx.Err() == nil {
+			log.Warn("fleet announce failed", "coordinator", a.Coordinator, "error", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (a *Announcer) announce(ctx context.Context, client *http.Client) error {
+	mf := a.Manifest()
+	mf.Format = NodeManifestFormat
+	body, err := json.Marshal(mf)
+	if err != nil {
+		return err
+	}
+	u := strings.TrimSuffix(a.Coordinator, "/") + "/api/v1/nodes"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(http.MaxBytesReader(nil, resp.Body, 1024))
+		return fmt.Errorf("coordinator answered %d: %s", resp.StatusCode, strings.TrimSpace(msg.String()))
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package coord
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"puffer/internal/serve"
+)
+
+func validNodeManifest() string {
+	return `{"format":"puffer/node/v1","id":"w1","addr":"http://127.0.0.1:7070",` +
+		`"engine":"` + serve.EngineVersion + `",` +
+		`"stats":{"draining":false,"queue_depth":0,"queue_cap":16,"workers":2,"active_jobs":0}}`
+}
+
+func TestParseNodeManifest(t *testing.T) {
+	mf, err := ParseNodeManifest([]byte(validNodeManifest()))
+	if err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	if mf.ID != "w1" || mf.Addr != "http://127.0.0.1:7070" || mf.Stats.Workers != 2 {
+		t.Fatalf("parsed %+v", mf)
+	}
+
+	cases := map[string]string{
+		"empty":           "",
+		"whitespace":      " \n\t",
+		"truncated":       validNodeManifest()[:30],
+		"trailing data":   validNodeManifest() + "{}",
+		"not an object":   `42`,
+		"unknown field":   strings.Replace(validNodeManifest(), `"id"`, `"bogus":1,"id"`, 1),
+		"foreign format":  strings.Replace(validNodeManifest(), "puffer/node/v1", "puffer/job/v1", 1),
+		"missing format":  strings.Replace(validNodeManifest(), `"format":"puffer/node/v1",`, "", 1),
+		"empty id":        strings.Replace(validNodeManifest(), `"id":"w1"`, `"id":""`, 1),
+		"id with slash":   strings.Replace(validNodeManifest(), `"id":"w1"`, `"id":"a/b"`, 1),
+		"id with space":   strings.Replace(validNodeManifest(), `"id":"w1"`, `"id":"a b"`, 1),
+		"id with newline": strings.Replace(validNodeManifest(), `"id":"w1"`, `"id":"a\nb"`, 1),
+		"bare host addr":  strings.Replace(validNodeManifest(), "http://127.0.0.1:7070", "127.0.0.1:7070", 1),
+		"ftp addr":        strings.Replace(validNodeManifest(), "http://127.0.0.1:7070", "ftp://x", 1),
+		"empty addr":      strings.Replace(validNodeManifest(), "http://127.0.0.1:7070", "", 1),
+		"empty engine":    strings.Replace(validNodeManifest(), serve.EngineVersion, "", 1),
+		"negative depth":  strings.Replace(validNodeManifest(), `"queue_depth":0`, `"queue_depth":-1`, 1),
+		"negative cap":    strings.Replace(validNodeManifest(), `"queue_cap":16`, `"queue_cap":-16`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := ParseNodeManifest([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// FuzzParseNodeManifest: never panic; accepted manifests must be
+// internally consistent and survive a marshal round trip. Parsing is
+// pure — a rejected heartbeat mutates no registry state by construction.
+func FuzzParseNodeManifest(f *testing.F) {
+	f.Add([]byte(validNodeManifest()))
+	f.Add([]byte(""))
+	f.Add([]byte(`{"format":"puffer/node/v1"}`))
+	f.Add([]byte(`{"format":"other"}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mf, err := ParseNodeManifest(data)
+		if err != nil {
+			return
+		}
+		if mf.ID == "" || mf.Addr == "" || mf.Engine == "" {
+			t.Fatalf("accepted incomplete manifest %+v", mf)
+		}
+		if strings.ContainsAny(mf.ID, "/\\ \n\t") {
+			t.Fatalf("accepted unsafe node ID %q", mf.ID)
+		}
+		out, err := json.Marshal(mf)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := ParseNodeManifest(out); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+	})
+}

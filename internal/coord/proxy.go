@@ -1,0 +1,255 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"puffer/internal/serve"
+)
+
+// The coordinator's read path: local manifests are the source of truth
+// for job state; running jobs additionally proxy live detail (events,
+// artifacts) from the owning worker; finished jobs serve everything
+// locally (artifacts were mirrored at finalize); cache-hit jobs resolve
+// reads through their Origin job.
+
+// loadManifest fetches the local manifest for the path's {id}.
+func (s *Server) loadManifest(w http.ResponseWriter, r *http.Request) *serve.Manifest {
+	id := r.PathValue("id")
+	m, err := s.spool.ReadManifest(id)
+	if err != nil {
+		apiError(w, http.StatusNotFound, "job %s: %v", id, err)
+		return nil
+	}
+	return m
+}
+
+// resolveOrigin follows a cache hit to the job that computed the result.
+func (s *Server) resolveOrigin(m *serve.Manifest) *serve.Manifest {
+	if m.CacheHit && m.Origin != "" {
+		if origin, err := s.spool.ReadManifest(m.Origin); err == nil {
+			return origin
+		}
+	}
+	return m
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if m := s.loadManifest(w, r); m != nil {
+		writeJSON(w, http.StatusOK, m)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ms, err := s.spool.List()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, "list spool: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	if m.State != serve.StateDone {
+		apiError(w, http.StatusConflict, "job %s is %s, not done", m.ID, m.State)
+		return
+	}
+	if m.Result == nil {
+		m = s.resolveOrigin(m)
+	}
+	writeJSON(w, http.StatusOK, m.Result)
+}
+
+// handleArtifact serves an artifact: local mirror first (finished jobs,
+// mirrored checkpoints), the Origin job's mirror for cache hits, then a
+// live proxy to the owning worker for running jobs.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	name := r.PathValue("name")
+	for _, cand := range []*serve.Manifest{m, s.resolveOrigin(m)} {
+		path, err := s.spool.ArtifactPath(cand.ID, name)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if st, serr := os.Stat(path); serr == nil && !st.IsDir() {
+			http.ServeFile(w, r, path)
+			return
+		}
+	}
+	if m.NodeAddr != "" && m.RemoteID != "" && !m.State.Terminal() {
+		s.proxyGet(w, r, m.NodeAddr+"/api/v1/jobs/"+m.RemoteID+"/artifacts/"+name)
+		return
+	}
+	apiError(w, http.StatusNotFound, "job %s has no artifact %q", m.ID, name)
+}
+
+// proxyGet forwards one GET to a worker and copies the response through.
+func (s *Server) proxyGet(w http.ResponseWriter, r *http.Request, url string) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		apiError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		apiError(w, http.StatusBadGateway, "worker unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	if m.State.Terminal() {
+		apiError(w, http.StatusConflict, "job %s already %s", m.ID, m.State)
+		return
+	}
+	if m.State == serve.StateQueued {
+		// Still pending here: cancel durably; the dispatcher skips
+		// terminal manifests it pops.
+		s.finish(m, serve.StateCanceled, "job canceled by client", nil, "")
+		m, _ = s.spool.ReadManifest(m.ID)
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	// Dispatched: forward the cancel; the watcher records the terminal
+	// state when the worker confirms it.
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		m.NodeAddr+"/api/v1/jobs/"+m.RemoteID+"/cancel", nil)
+	if err != nil {
+		apiError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		apiError(w, http.StatusBadGateway, "worker unreachable: %v", err)
+		return
+	}
+	resp.Body.Close()
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": m.ID, "state": "canceling"})
+}
+
+// handleEvents streams job progress as SSE through the coordinator:
+// pending phases emit coordinator state events; once dispatched the
+// worker's stream proxies through verbatim; failover transparently
+// re-attaches to the next worker (the remote Seq restarts — watchers key
+// on state, not Seq continuity, across attempts). pufferctl watch works
+// against a coordinator unchanged.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	m := s.loadManifest(w, r)
+	if m == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		apiError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	seq := 0
+	writeEvent := func(e serve.Event) {
+		seq++
+		e.Seq = seq
+		data, _ := json.Marshal(e)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+		fl.Flush()
+	}
+
+	lastState := serve.JobState("")
+	for {
+		if r.Context().Err() != nil {
+			return
+		}
+		m, err := s.spool.ReadManifest(m.ID)
+		if err != nil {
+			return
+		}
+		if m.State.Terminal() {
+			writeEvent(serve.Event{Type: "state", State: m.State, Error: m.Error})
+			return
+		}
+		if m.State == serve.StateQueued {
+			if lastState != serve.StateQueued {
+				lastState = serve.StateQueued
+				writeEvent(serve.Event{Type: "state", State: serve.StateQueued})
+			}
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(s.cfg.Poll):
+			}
+			continue
+		}
+		// Dispatched: proxy the worker's live stream until it ends (job
+		// finished there, worker died, or client went away), then loop to
+		// re-read local state — which covers failover re-attachment.
+		lastState = serve.StateRunning
+		if m.NodeAddr != "" && m.RemoteID != "" {
+			s.proxySSE(w, r, fl, m.NodeAddr+"/api/v1/jobs/"+m.RemoteID+"/events")
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(s.cfg.Poll):
+		}
+	}
+}
+
+// proxySSE copies a worker's SSE stream through until it ends. Events
+// pass through byte-for-byte (the worker's Seq included). A stream that
+// ends without a terminal event (worker died mid-job) returns to the
+// caller's loop, which re-reads the coordinator manifest and re-attaches
+// to wherever failover sent the job.
+func (s *Server) proxySSE(w http.ResponseWriter, r *http.Request, fl http.Flusher, url string) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	// Streaming call: bypass the default client timeout.
+	client := &http.Client{Transport: s.client.Transport}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -7,8 +7,8 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
-	"path/filepath"
 
+	"puffer/internal/fsx"
 	"puffer/internal/netlist"
 	"puffer/internal/padding"
 	"puffer/pipeline"
@@ -158,29 +158,7 @@ func (sn *Snapshot) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("eco: encode snapshot: %w", err)
 	}
-	data = append(data, '\n')
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	if serr := tmp.Sync(); werr == nil {
-		werr = serr
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmpName)
-		return werr
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
+	return fsx.AtomicWriteFile(path, append(data, '\n'))
 }
 
 // LoadSnapshot reads and validates a snapshot written by Save.

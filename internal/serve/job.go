@@ -22,10 +22,20 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"puffer/pipeline"
 )
 
 // ManifestFormat identifies the job manifest JSON document version.
 const ManifestFormat = "puffer/job/v1"
+
+// EngineVersion names the placement engine revision. It partitions the
+// fleet's content-addressed result cache — a cached result is only reused
+// by a daemon running the same engine version — and gates dispatch (a
+// coordinator never sends work to a worker whose engine disagrees). Bump
+// it with any change that can alter placement results; changes that only
+// affect speed or observability keep it.
+const EngineVersion = "puffer-engine/v9"
 
 // JobKind selects what a job executes.
 const (
@@ -97,6 +107,19 @@ type JobSpec struct {
 	// pipeline's context support (0 = the server's default, if any). The
 	// clock restarts when a parked job resumes.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Checkpoint, when non-empty, is a pipeline checkpoint document
+	// (puffer/checkpoint/v1) seeded into the job's spool before it first
+	// runs, so the job resumes mid-flow instead of starting cold. The
+	// fleet coordinator uses it to re-admit a job on a surviving worker
+	// from the dead worker's last mirrored checkpoint; it composes with
+	// the single-node resume path unchanged.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// NoCache forces a full run even when the coordinator's result cache
+	// already holds this (design, config, engine) triple. Single-node
+	// daemons ignore it. It is excluded from the config digest — a forced
+	// run refreshes the same cache slot it bypassed.
+	NoCache bool `json:"nocache,omitempty"`
 }
 
 // Normalize fills defaulted fields in place.
@@ -141,6 +164,18 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Scale < 0 || s.MaxIters < 0 || s.Workers < 0 || s.Budget < 0 || s.TimeoutSec < 0 {
 		return fmt.Errorf("negative scale/max_iters/workers/budget/timeout_sec")
+	}
+	if len(s.Checkpoint) > 0 {
+		if s.Kind != KindPlace {
+			return fmt.Errorf("checkpoint seeding only applies to %q jobs", KindPlace)
+		}
+		cp := &pipeline.Checkpoint{}
+		if err := json.Unmarshal(s.Checkpoint, cp); err != nil {
+			return fmt.Errorf("checkpoint: not a checkpoint document: %v", err)
+		}
+		if err := cp.Validate(); err != nil {
+			return fmt.Errorf("checkpoint: %v", err)
+		}
 	}
 	return nil
 }
@@ -196,6 +231,28 @@ type Manifest struct {
 	// TraceParent is the W3C traceparent header the submission carried, if
 	// any; the worker adopts it so the job's trace joins the client's.
 	TraceParent string `json:"traceparent,omitempty"`
+
+	// Fleet fields, set only on coordinator-spooled manifests (single-node
+	// daemons leave them empty).
+
+	// Tenant is the submitting tenant (X-Puffer-Tenant, "default" if unset).
+	Tenant string `json:"tenant,omitempty"`
+	// Node/NodeAddr identify the worker the job was dispatched to.
+	Node     string `json:"node,omitempty"`
+	NodeAddr string `json:"node_addr,omitempty"`
+	// RemoteID is the job's ID on that worker (workers mint their own IDs).
+	RemoteID string `json:"remote_id,omitempty"`
+	// CacheHit marks a job satisfied from the result cache without
+	// dispatching; Origin is the coordinator job ID that computed it, and
+	// result/artifact/event reads follow Origin.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Origin   string `json:"origin,omitempty"`
+	// DesignDigest/ConfigDigest/ResultDigest are the job's content
+	// addresses (design blob or profile identity, normalized config, and
+	// canonical result JSON once done).
+	DesignDigest string `json:"design_digest,omitempty"`
+	ConfigDigest string `json:"config_digest,omitempty"`
+	ResultDigest string `json:"result_digest,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

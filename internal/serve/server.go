@@ -191,6 +191,29 @@ func New(cfg Config) (*Server, error) {
 // Spool exposes the server's spool (read-only use).
 func (s *Server) Spool() *Spool { return s.spool }
 
+// Stats is a point-in-time load summary of the job service. Fleet workers
+// report it in every heartbeat so the coordinator can dispatch to the
+// least-loaded live node; it is node-agnostic — nothing in it names the
+// fleet.
+type Stats struct {
+	Draining   bool `json:"draining"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Workers    int  `json:"workers"`
+	ActiveJobs int  `json:"active_jobs"`
+}
+
+// Stats captures the server's current load.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Draining:   s.Draining(),
+		QueueDepth: s.queue.Len(),
+		QueueCap:   s.queue.Cap(),
+		Workers:    s.cfg.Workers,
+		ActiveJobs: s.activeCount(),
+	}
+}
+
 // Registry exposes the daemon-level metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 

@@ -10,6 +10,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"puffer/internal/fsx"
+	"puffer/pipeline"
 )
 
 // Spool is the daemon's on-disk job store. Layout under the root:
@@ -63,6 +66,20 @@ func (sp *Spool) ArtifactPath(id, name string) (string, error) {
 	return filepath.Join(sp.JobDir(id), name), nil
 }
 
+// WriteArtifact atomically writes a named artifact into the job's
+// directory (the fleet coordinator mirrors worker artifacts through it).
+func (sp *Spool) WriteArtifact(id, name string, data []byte) error {
+	path, err := sp.ArtifactPath(id, name)
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, data)
+}
+
+// NewJobID returns a fresh 12-hex-digit job ID (exported for the fleet
+// coordinator, whose job records share the spool's manifest format).
+func NewJobID() string { return newJobID() }
+
 // newJobID returns a fresh 12-hex-digit job ID.
 func newJobID() string {
 	var b [6]byte
@@ -88,6 +105,22 @@ func (sp *Spool) CreateJob(m *Manifest) error {
 			if err := os.WriteFile(filepath.Join(ddir, name), []byte(content), 0o644); err != nil {
 				return fmt.Errorf("serve: write design file %s: %w", name, err)
 			}
+		}
+	}
+	if len(m.Spec.Checkpoint) > 0 {
+		// Seed the spooled checkpoint so the first run resumes mid-flow —
+		// exactly the file a parked job of this daemon would have left.
+		// The document was validated at submission; its stage gates how
+		// much of the flow is skipped.
+		cp := &pipeline.Checkpoint{}
+		if err := json.Unmarshal(m.Spec.Checkpoint, cp); err != nil {
+			return fmt.Errorf("serve: seed checkpoint: %w", err)
+		}
+		if err := cp.Save(sp.CheckpointPath(m.ID)); err != nil {
+			return fmt.Errorf("serve: seed checkpoint: %w", err)
+		}
+		if m.Stage == "" {
+			m.Stage = cp.Stage
 		}
 	}
 	return sp.WriteManifest(m)
@@ -205,26 +238,5 @@ func (sp *Spool) Recover() ([]*Manifest, error) {
 
 // atomicWriteFile writes data via temp file + rename in path's directory.
 func atomicWriteFile(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	if serr := tmp.Sync(); werr == nil {
-		werr = serr
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmpName)
-		return werr
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
+	return fsx.AtomicWriteFile(path, data)
 }

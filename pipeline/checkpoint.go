@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"puffer/internal/fsx"
 	"puffer/internal/netlist"
 )
 
@@ -126,28 +126,7 @@ func (cp *Checkpoint) Save(path string) error {
 // atomicWrite writes data to path via a temp file + rename in the same
 // directory (rename is atomic within a filesystem).
 func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	if serr := tmp.Sync(); werr == nil {
-		werr = serr
-	}
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmpName)
-		return werr
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	return nil
+	return fsx.AtomicWriteFile(path, data)
 }
 
 // LoadCheckpoint reads a checkpoint saved by Save. It rejects empty or
