@@ -19,7 +19,12 @@
 //   - -cas dir: inspect a coordinator's content-addressed store — blobs
 //     with sizes and refcounts, cached results with their digest triples,
 //     and on-disk orphans; -cas-gc additionally lists what a GC pass would
-//     delete (dry run), -cas-gc-apply deletes it.
+//     delete (dry run), -cas-gc-apply deletes it;
+//   - -explore state.json: validate and render a distributed exploration's
+//     explore-state checkpoint (a coordinator job's explore-state.json
+//     artifact) — the trial table with schedule identities and outcomes,
+//     the merged parameter ranges, the best assignment, and the resume
+//     provenance (attempt count, cache hits, replays).
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"puffer/internal/obs"
 	"puffer/internal/router"
 	"puffer/internal/synth"
+	"puffer/internal/xfarm"
 	"puffer/pipeline"
 )
 
@@ -55,7 +61,15 @@ func main() {
 	casDir := flag.String("cas", "", "inspect the content-addressed store rooted at this directory instead of running comparisons")
 	casGC := flag.Bool("cas-gc", false, "with -cas: list the blobs a GC pass would delete (dry run)")
 	casGCApply := flag.Bool("cas-gc-apply", false, "with -cas: actually delete unreferenced blobs")
+	explorePath := flag.String("explore", "", "validate and summarize this explore-state checkpoint instead of running comparisons")
 	flag.Parse()
+
+	if *explorePath != "" {
+		if err := summarizeExploreState(*explorePath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *casDir != "" {
 		if err := summarizeCAS(*casDir, *casGC, *casGCApply); err != nil {
@@ -457,4 +471,87 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(ks)
 	return ks
+}
+
+// summarizeExploreState validates and renders a puffer/explore-state/v1
+// checkpoint: provenance (attempts, design, schedule parameters), the trial
+// table in submission order, outcome tallies, the best assignment, and the
+// merged parameter ranges Algorithm 3 has narrowed to.
+func summarizeExploreState(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := xfarm.ParseState(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explore state: %s\n", path)
+	fmt.Printf("  format:   %s\n", st.Format)
+	if st.Job != "" {
+		fmt.Printf("  job:      %s\n", st.Job)
+	}
+	if st.DesignDigest != "" {
+		fmt.Printf("  design:   %s\n", cas.Digest(st.DesignDigest).Short())
+	}
+	mode := "deterministic"
+	if st.EarlyStop {
+		mode = "early-stop"
+	}
+	if st.WarmStart {
+		mode += "+warm-start"
+	}
+	fmt.Printf("  schedule: seed=%d budget=%d (%s)\n", st.Seed, st.Budget, mode)
+	fmt.Printf("  attempts: %d (resumed %d time(s))\n", st.Attempts, st.Attempts-1)
+	fmt.Printf("  updated:  %s\n", st.UpdatedAt.Format(time.RFC3339))
+
+	byState := map[string]int{}
+	cacheHits := 0
+	for _, t := range st.Trials {
+		byState[t.State]++
+		if t.CacheHit {
+			cacheHits++
+		}
+	}
+	fmt.Printf("\ntrials: %d (done %d, submitted %d, canceled %d, failed %d; %d cache hits)\n",
+		len(st.Trials), byState[xfarm.TrialDone], byState[xfarm.TrialSubmitted],
+		byState[xfarm.TrialCanceled], byState[xfarm.TrialFailed], cacheHits)
+	fmt.Printf("%4s %6s %-12s %5s %-9s %12s %6s %6s  %s\n",
+		"SEQ", "ROUND", "GROUP", "INDEX", "STATE", "SCORE", "CACHE", "ESTOP", "JOB")
+	trials := append([]xfarm.TrialRecord(nil), st.Trials...)
+	sort.Slice(trials, func(i, j int) bool { return trials[i].Seq < trials[j].Seq })
+	for _, t := range trials {
+		group := t.Group
+		if group == "" {
+			group = "(global)"
+		}
+		score := "-"
+		if t.State == xfarm.TrialDone || t.State == xfarm.TrialFailed || t.State == xfarm.TrialCanceled {
+			score = fmt.Sprintf("%.6g", t.Score)
+		}
+		mark := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "-"
+		}
+		fmt.Printf("%4d %6d %-12s %5d %-9s %12s %6s %6s  %s\n",
+			t.Seq, t.Round, group, t.Index, t.State, score,
+			mark(t.CacheHit), mark(t.EarlyStopped), t.JobID)
+	}
+
+	if len(st.Best) > 0 {
+		fmt.Printf("\nbest assignment (score %.6g):\n", st.BestScore)
+		for _, k := range sortedKeys(st.Best) {
+			fmt.Printf("  %-18s %g\n", k, st.Best[k])
+		}
+	}
+	if len(st.Ranges) > 0 {
+		fmt.Printf("\nmerged ranges:\n")
+		for _, k := range sortedKeys(st.Ranges) {
+			r := st.Ranges[k]
+			fmt.Printf("  %-18s [%g, %g]  mid %g\n", k, r.Lo, r.Hi, (r.Lo+r.Hi)/2)
+		}
+	}
+	return nil
 }

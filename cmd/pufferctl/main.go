@@ -7,6 +7,7 @@
 // Commands:
 //
 //	submit   submit a job (synthetic profile or Bookshelf upload); -watch streams it
+//	explore  run a distributed strategy exploration on the fleet; -out saves the tuned strategy
 //	status   print a job's durable manifest
 //	watch    stream a job's progress (SSE) until it finishes
 //	result   print a finished job's result summary
@@ -59,7 +60,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|status|watch|result|artifact|cancel|list|wait|session|top|fleet} ...")
+		fmt.Fprintln(os.Stderr, "usage: pufferctl [-addr URL] {submit|explore|status|watch|result|artifact|cancel|list|wait|session|top|fleet} ...")
 		os.Exit(2)
 	}
 	c := &client{base: strings.TrimSuffix(*addr, "/")}
@@ -67,6 +68,8 @@ func main() {
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "submit":
 		err = c.submit(rest)
+	case "explore":
+		err = c.explore(rest)
 	case "status":
 		err = c.getJSON(rest, "status <id>", "/api/v1/jobs/%s")
 	case "result":
@@ -245,6 +248,131 @@ func (c *client) submit(args []string) error {
 		return fmt.Errorf("job %s %s: %s", m.ID, state, errMsg)
 	}
 	return nil
+}
+
+// explore submits a distributed strategy exploration to a fleet
+// coordinator: every TPE trial runs as its own place job across the
+// workers, the controller checkpoints for durable resume, and the tuned
+// strategy document comes back as an artifact (-out saves it locally).
+func (c *client) explore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	var (
+		profile   = fs.String("profile", "", "synthetic benchmark profile name")
+		scale     = fs.Int("scale", 800, "profile scale divisor")
+		seed      = fs.Int64("seed", 1, "random seed (drives the trial schedule)")
+		aux       = fs.String("aux", "", "Bookshelf .aux file to upload (with its sibling files)")
+		budget    = fs.Int("budget", 0, "trials per exploration call (0 = server default 8)")
+		iters     = fs.Int("iters", 0, "max global placement iterations per trial (0 = default)")
+		earlyStop = fs.Bool("early-stop", false, "cancel dominated trials mid-flight (trades determinism for wall clock)")
+		warm      = fs.Bool("warm", false, "seed TPE priors/ranges from prior explorations of the same design family")
+		timeout   = fs.Duration("timeout", 0, "per-trial deadline (0 = server default)")
+		watch     = fs.Bool("watch", false, "stream exploration progress until it finishes")
+		wait      = fs.Duration("wait", 30*time.Minute, "give up waiting for the exploration after this long")
+		retry     = fs.Int("retry", 0, "retry a full queue up to N times, honoring Retry-After")
+		tenant    = fs.String("tenant", "", "tenant name for fleet fair-share scheduling")
+		nocache   = fs.Bool("nocache", false, "recompute the exploration even if a cached result exists (finished trials still dedupe through the result index)")
+		out       = fs.String("out", "", "write the tuned strategy JSON here when the exploration finishes")
+	)
+	fs.Parse(args)
+
+	spec := map[string]any{"kind": "explore", "distributed": true, "scale": *scale, "seed": *seed}
+	if *profile != "" {
+		spec["profile"] = *profile
+	}
+	if *aux != "" {
+		files, err := inlineBookshelf(*aux)
+		if err != nil {
+			return err
+		}
+		spec["bookshelf"] = files
+	}
+	if *budget > 0 {
+		spec["budget"] = *budget
+	}
+	if *iters > 0 {
+		spec["max_iters"] = *iters
+	}
+	if *earlyStop {
+		spec["early_stop"] = true
+	}
+	if *warm {
+		spec["warm_start"] = true
+	}
+	if *timeout > 0 {
+		spec["timeout_sec"] = timeout.Seconds()
+	}
+	if *nocache {
+		spec["nocache"] = true
+	}
+
+	body, _ := json.Marshal(spec)
+	resp, err := c.postWithRetry(c.base+"/api/v1/jobs", body, *retry, "", *tenant)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return err
+	}
+	var m struct {
+		ID       string `json:"id"`
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("decode response: %w", err)
+	}
+	if m.CacheHit {
+		fmt.Printf("exploration %s %s (cache hit)\n", m.ID, m.State)
+	} else {
+		fmt.Printf("exploration %s %s\n", m.ID, m.State)
+	}
+
+	var watchErr error
+	if *watch {
+		watchErr = c.streamEvents(m.ID)
+	}
+	state, errMsg, err := c.waitTerminal(m.ID, 500*time.Millisecond, *wait)
+	if err != nil {
+		return err
+	}
+	if state != "done" {
+		return fmt.Errorf("exploration %s %s: %s", m.ID, state, errMsg)
+	}
+	var res struct {
+		Trials    int     `json:"trials"`
+		BestScore float64 `json:"best_score"`
+		RuntimeMS float64 `json:"runtime_ms"`
+	}
+	if raw, err := c.fetchResult(m.ID); err == nil {
+		json.Unmarshal(raw, &res)
+	}
+	fmt.Printf("exploration %s done: %d trials, best score %g, %.0fms\n",
+		m.ID, res.Trials, res.BestScore, res.RuntimeMS)
+	if *out != "" {
+		data, err := c.fetchArtifact(m.ID, "strategy.json")
+		if err != nil {
+			return fmt.Errorf("fetch tuned strategy: %w", err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("tuned strategy: %s (%d bytes)\n", *out, len(data))
+	}
+	return watchErr
+}
+
+// fetchResult downloads a finished job's result document.
+func (c *client) fetchResult(id string) ([]byte, error) {
+	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if err := checkStatus(resp); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // waitTerminal polls the job manifest until it leaves the live states,

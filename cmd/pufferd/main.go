@@ -76,6 +76,7 @@ func main() {
 		pendingCap  = flag.Int("pending", 64, "fleet-wide pending-job cap before submissions get 429 (coordinator)")
 		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant dispatch rate limit in jobs/sec (coordinator; 0 = unlimited)")
 		tenantBurst = flag.Int("tenant-burst", 4, "per-tenant dispatch burst (coordinator)")
+		estopMargin = flag.Float64("early-stop-margin", 0, "exploration early-stop domination margin over the best trial's overflow envelope (coordinator; 0 = default 1.5)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 			addr: *addr, addrFile: *addrFile, spool: *spool, casDir: *casDir,
 			deadAfter: *deadAfter, poll: *poll, pendingCap: *pendingCap,
 			tenantRate: *tenantRate, tenantBurst: *tenantBurst,
+			estopMargin:  *estopMargin,
 			drainTimeout: *drainTimeout,
 		})
 		return
@@ -202,21 +204,22 @@ type coordFlags struct {
 	addr, addrFile, spool, casDir string
 	deadAfter, poll, drainTimeout time.Duration
 	pendingCap, tenantBurst       int
-	tenantRate                    float64
+	tenantRate, estopMargin       float64
 }
 
 // runCoordinator is the -coordinator main: same listen/drain skeleton as
 // the worker, around a coord.Server instead of a serve.Server.
 func runCoordinator(logger *slog.Logger, f coordFlags) {
 	cs, err := coord.New(coord.Config{
-		SpoolDir:    f.spool,
-		CASDir:      f.casDir,
-		DeadAfter:   f.deadAfter,
-		Poll:        f.poll,
-		PendingCap:  f.pendingCap,
-		TenantRate:  f.tenantRate,
-		TenantBurst: f.tenantBurst,
-		Log:         logger,
+		SpoolDir:        f.spool,
+		CASDir:          f.casDir,
+		DeadAfter:       f.deadAfter,
+		Poll:            f.poll,
+		PendingCap:      f.pendingCap,
+		TenantRate:      f.tenantRate,
+		TenantBurst:     f.tenantBurst,
+		EarlyStopMargin: f.estopMargin,
+		Log:             logger,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -131,6 +131,17 @@ type Config struct {
 	// the default strategy and re-marshaled — before hashing, so two
 	// spellings of the same strategy share a digest.
 	Strategy json.RawMessage
+	// Distributed marks a farm-controlled exploration (explore jobs).
+	// Part of the digest so a distributed exploration and its in-process
+	// twin never share a cache entry: their trial schedules agree only
+	// when neither early stop nor warm start perturbs the scores.
+	Distributed bool
+	// EarlyStop marks competitive mid-flight trial cancellation
+	// (nondeterministic across fleet load, so it splits the cache).
+	EarlyStop bool
+	// WarmStart marks TPE priors seeded from earlier explorations (the
+	// outcome depends on store history, so it splits the cache).
+	WarmStart bool
 }
 
 // Digest returns the config's content address over the canonical key=value
@@ -146,6 +157,17 @@ func (c Config) Digest() (Digest, error) {
 	}
 	enc := fmt.Sprintf("puffer/config/v1\nkind=%s\nmax_iters=%d\nroute=%t\nbudget=%d\nseed=%d\nstrategy=%s\n",
 		c.Kind, c.MaxIters, c.Route, c.Budget, c.Seed, strategy)
+	// Mode flags append only when set, so every pre-farm digest — and its
+	// golden test — is unchanged.
+	if c.Distributed {
+		enc += "distributed=true\n"
+	}
+	if c.EarlyStop {
+		enc += "early_stop=true\n"
+	}
+	if c.WarmStart {
+		enc += "warm_start=true\n"
+	}
 	return Sum([]byte(enc)), nil
 }
 

@@ -40,6 +40,13 @@ type Params struct {
 	// DefaultRebuildEvery; negative disables periodic rebuilds (the
 	// engine then rebuilds only when forced or when most nets are dirty).
 	RebuildEvery int
+
+	// Topo, when non-nil, memoizes RSMT construction across estimators
+	// sharing one design (exploration trials on the same worker). It is
+	// runtime wiring, not a strategy parameter: rsmt.Build is pure, so
+	// attaching a memo never changes results, and the field is excluded
+	// from strategy JSON and canonical config digests.
+	Topo *rsmt.Memo `json:"-"`
 }
 
 // DefaultRebuildEvery is the periodic full-rebuild interval used when
@@ -164,7 +171,7 @@ func (e *Estimator) stampNet(n int, j *netJournal, pts []geom.Point) []geom.Poin
 	for _, pid := range net.Pins {
 		pts = append(pts, e.d.PinPos(pid))
 	}
-	tree := rsmt.Build(pts)
+	tree := e.P.Topo.Build(pts) // nil memo degrades to plain rsmt.Build
 	e.Trees[n] = tree
 
 	for _, edge := range tree.Edges {

@@ -218,12 +218,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		designDigest = cas.ProfileDesignDigest(spec.Profile, spec.Scale, spec.Seed)
 	}
 	configDigest, err := cas.Config{
-		Kind:     spec.Kind,
-		MaxIters: spec.MaxIters,
-		Route:    spec.Route,
-		Budget:   spec.Budget,
-		Seed:     spec.Seed,
-		Strategy: spec.Strategy,
+		Kind:        spec.Kind,
+		MaxIters:    spec.MaxIters,
+		Route:       spec.Route,
+		Budget:      spec.Budget,
+		Seed:        spec.Seed,
+		Strategy:    spec.Strategy,
+		Distributed: spec.Distributed,
+		EarlyStop:   spec.EarlyStop,
+		WarmStart:   spec.WarmStart,
 	}.Digest()
 	if err != nil {
 		apiError(w, http.StatusBadRequest, "config digest: %v", err)
@@ -231,8 +234,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Cache check: a byte-equivalent prior job's result answers
-	// immediately — no queue, no dispatch, no pipeline run.
-	if !spec.NoCache {
+	// immediately — no queue, no dispatch, no pipeline run. Early-stop and
+	// warm-start explorations are timing/history dependent, so they neither
+	// consult nor (see runFarm) fill the cache.
+	if !spec.NoCache && !spec.EarlyStop && !spec.WarmStart {
 		if hit, ok := s.cacheHit(designDigest, configDigest); ok {
 			m := s.newManifest(spec, r, tenant, designDigest, configDigest)
 			now := time.Now()
@@ -258,6 +263,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.reg.Counter("coord.cache_misses").Inc()
+
+	// Distributed explorations run as a farm controller in this process;
+	// only their individual trials enter the dispatch queue (where the
+	// pending cap applies to each trial admission's enqueue, not here).
+	if spec.Distributed {
+		m := s.newManifest(spec, r, tenant, designDigest, configDigest)
+		if len(spec.Bookshelf) > 0 {
+			m.Spec.Bookshelf = nil
+			if err := s.store.AddRef(designDigest); err != nil {
+				apiError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+		}
+		if err := s.spool.CreateJob(m); err != nil {
+			apiError(w, http.StatusInternalServerError, "spool job: %v", err)
+			return
+		}
+		s.reg.Counter("coord.explorations_submitted").Inc()
+		s.log.InfoContext(r.Context(), "exploration farm started", "job", m.ID,
+			"tenant", tenant, "budget", spec.Budget, "seed", spec.Seed,
+			"early_stop", spec.EarlyStop, "warm_start", spec.WarmStart,
+			"design", designDigest.Short(), "config", configDigest.Short())
+		s.startFarm(m)
+		writeJSON(w, http.StatusAccepted, m)
+		return
+	}
 
 	// Fleet-level backpressure in front of the workers' own queues.
 	s.mu.Lock()

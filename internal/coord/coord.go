@@ -50,6 +50,10 @@ type Config struct {
 	// (0 = unlimited); TenantBurst is the bucket size (default 4).
 	TenantRate  float64
 	TenantBurst int
+	// EarlyStopMargin is the domination factor for exploration early stop:
+	// a trial is canceled once its streamed overflow exceeds this multiple
+	// of the best competitor's at the same step (0 = xfarm's default 1.5).
+	EarlyStopMargin float64
 	// Client is the HTTP client for worker calls (default 15s timeout;
 	// SSE and artifact proxying use streaming requests with no timeout).
 	Client *http.Client
@@ -96,6 +100,7 @@ type Server struct {
 	rr       int
 	pending  int
 	jobs     map[string]*coordJob // dispatched, watched jobs
+	farms    map[string]*farm     // running exploration-farm controllers
 	draining bool
 
 	// Recovered counts jobs re-attached or re-queued at boot.
@@ -150,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 		nodes:     make(map[string]*node),
 		tenants:   make(map[string]*tenantQueue),
 		jobs:      make(map[string]*coordJob),
+		farms:     make(map[string]*farm),
 	}
 	s.hHTTP = s.reg.Histogram("coord.http_request_seconds")
 	s.hDispatch = s.reg.Histogram("coord.dispatch_seconds")
@@ -172,6 +178,15 @@ func (s *Server) recover() error {
 		return err
 	}
 	for _, m := range all {
+		// Distributed explorations never dispatch to a worker: their
+		// controller restarts here and resumes from the spooled
+		// explore-state checkpoint (finished trials replay, in-flight trial
+		// jobs — recovered below like any dispatched job — re-attach by ID).
+		if m.Spec.Distributed && !m.State.Terminal() {
+			s.startFarm(m)
+			s.Recovered++
+			continue
+		}
 		switch m.State {
 		case serve.StateQueued:
 			s.enqueueLocked(m)

@@ -124,6 +124,22 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusConflict, "job %s already %s", m.ID, m.State)
 		return
 	}
+	if m.Spec.Distributed {
+		// A farm exploration: cancel its controller, which finalizes the
+		// manifest (in-flight trial jobs are abandoned to finish on their
+		// workers; their results stay cached for any future exploration).
+		if f := s.lookupFarm(m.ID); f != nil {
+			f.cancel(errFarmCanceled)
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": m.ID, "state": "canceling"})
+			return
+		}
+		// No live controller (parked by a shutdown): cancel durably so the
+		// next boot does not resume it.
+		s.finish(m, serve.StateCanceled, "job canceled by client", nil, "")
+		m, _ = s.spool.ReadManifest(m.ID)
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
 	if m.State == serve.StateQueued {
 		// Still pending here: cancel durably; the dispatcher skips
 		// terminal manifests it pops.
@@ -134,19 +150,40 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	// Dispatched: forward the cancel; the watcher records the terminal
 	// state when the worker confirms it.
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		m.NodeAddr+"/api/v1/jobs/"+m.RemoteID+"/cancel", nil)
-	if err != nil {
+	if err := s.cancelJob(m.ID, "job canceled by client"); err != nil {
 		apiError(w, http.StatusBadGateway, "%v", err)
 		return
 	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": m.ID, "state": "canceling"})
+}
+
+// cancelJob cancels a job server-side: queued jobs finalize durably,
+// dispatched jobs forward the cancel to their worker (the watcher records
+// the terminal state when the worker confirms). Shared by the HTTP cancel
+// handler and the exploration farm's early-stop path.
+func (s *Server) cancelJob(id, reason string) error {
+	m, err := s.spool.ReadManifest(id)
+	if err != nil {
+		return err
+	}
+	if m.State.Terminal() {
+		return nil
+	}
+	if m.State == serve.StateQueued || m.NodeAddr == "" || m.RemoteID == "" {
+		s.finish(m, serve.StateCanceled, reason, nil, "")
+		return nil
+	}
+	req, err := http.NewRequestWithContext(s.baseCtx, http.MethodPost,
+		m.NodeAddr+"/api/v1/jobs/"+m.RemoteID+"/cancel", nil)
+	if err != nil {
+		return err
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
-		apiError(w, http.StatusBadGateway, "worker unreachable: %v", err)
-		return
+		return fmt.Errorf("worker unreachable: %w", err)
 	}
 	resp.Body.Close()
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": m.ID, "state": "canceling"})
+	return nil
 }
 
 // handleEvents streams job progress as SSE through the coordinator:
@@ -158,6 +195,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	m := s.loadManifest(w, r)
 	if m == nil {
+		return
+	}
+	if m.Spec.Distributed {
+		// Farm explorations stream from the controller's local hub, not a
+		// worker (there is no worker — trials are separate jobs).
+		s.farmEvents(w, r, m)
 		return
 	}
 	fl, ok := w.(http.Flusher)

@@ -76,6 +76,24 @@ type Observation struct {
 // objective is the total overflow ratio of both routing directions.
 type Objective func(Assignment) float64
 
+// Trial identifies one objective evaluation inside Algorithm 3's schedule.
+// The identity (Round, Group, Index) is deterministic for a fixed seed and
+// budget: each group chain draws from its own seeded RNG and appends to its
+// own observation list, so the Index-th trial of a chain proposes the same
+// assignment no matter how many evaluations run concurrently elsewhere or
+// in what order they complete. Distributed controllers key resume and
+// dedupe on this identity.
+type Trial struct {
+	// Round is 0 for the global pass, 1..Rounds for group rounds.
+	Round int
+	// Group is the relevance-group name ("" for the global pass).
+	Group string
+	// Index is the 0-based trial position within its (Round, Group) chain.
+	Index int
+	// X is the full assignment to evaluate (subset proposal + pins).
+	X Assignment
+}
+
 // TPE is the tree-structured Parzen estimator sampler.
 type TPE struct {
 	// Gamma is the good/bad observation split quantile.
@@ -261,6 +279,27 @@ type Explorer struct {
 	Eval   Objective
 	TPE    TPE
 
+	// Evaluate, when non-nil, replaces Eval: every trial is handed over
+	// with its schedule identity so a remote controller can dispatch the
+	// evaluation as a job, await it, or replay a cached score. It must be
+	// goroutine-safe when Parallel is set. An error aborts the exploration
+	// the same way a context cancel does (the first error in group
+	// declaration order wins).
+	Evaluate func(ctx context.Context, t Trial) (float64, error) `json:"-"`
+
+	// Priors seed the global pass's TPE observation list with outcomes
+	// from earlier explorations of the same design family. They steer
+	// Suggest past the random-startup phase and weigh into the global
+	// range update, but are not recorded in History and do not consume
+	// TimeLimit budget.
+	Priors []Observation `json:"-"`
+
+	// SeedRanges narrows the declared starting ranges per parameter
+	// (e.g. converged ranges from a prior exploration). Entries are
+	// clamped to the declared bounds; invalid or categorical overrides
+	// are ignored.
+	SeedRanges map[string]Range `json:"-"`
+
 	// TimeLimit is TC of Algorithm 2 (evaluations per exploration call);
 	// EarlyStop is EC (evaluations without improvement before stopping).
 	TimeLimit int
@@ -282,6 +321,13 @@ type Explorer struct {
 	// on the "explore.best_score" gauge, and RunCtx traces the global pass
 	// and each group exploration as spans. Nil disables everything.
 	Obs *obs.Recorder `json:"-"`
+
+	// Snapshot, when non-nil, receives a copy of the current merged ranges
+	// at every single-threaded point of Algorithm 3 (after the global pass
+	// and after each round's deterministic merge). Distributed controllers
+	// checkpoint these so an interrupted exploration's state is
+	// inspectable.
+	Snapshot func(ranges map[string]Range) `json:"-"`
 
 	mu      sync.Mutex
 	history []Observation
@@ -313,15 +359,24 @@ func (e *Explorer) record(o Observation) {
 	}
 }
 
-// initialRanges returns the declared full ranges.
+// initialRanges returns the declared full ranges, narrowed by any valid
+// SeedRanges overrides (warm-started explorations resume the converged
+// intervals of a prior run; the clamp keeps a stale or foreign seed from
+// escaping the declared bounds).
 func (e *Explorer) initialRanges() map[string]Range {
 	r := make(map[string]Range, len(e.Params))
 	for _, p := range e.Params {
+		base := Range{p.Lo, p.Hi}
 		if p.Kind == Categorical {
-			r[p.Name] = Range{0, float64(len(p.Choices) - 1)}
-		} else {
-			r[p.Name] = Range{p.Lo, p.Hi}
+			base = Range{0, float64(len(p.Choices) - 1)}
+		} else if sr, ok := e.SeedRanges[p.Name]; ok {
+			lo := math.Max(base.Lo, sr.Lo)
+			hi := math.Min(base.Hi, sr.Hi)
+			if lo < hi && !(p.Kind == LogUniform && lo <= 0) {
+				base = Range{lo, hi}
+			}
 		}
+		r[p.Name] = base
 	}
 	return r
 }
@@ -331,8 +386,10 @@ func (e *Explorer) initialRanges() map[string]Range {
 // whether the loop stopped early (converged). The context is checked
 // before every SMBO trial, so a cancel costs at most one objective
 // evaluation of extra work.
-func (e *Explorer) paramExploration(ctx context.Context, rng *rand.Rand, subset []Param, ranges map[string]Range, pinned Assignment) (bool, map[string]Range, error) {
-	var obs []Observation
+func (e *Explorer) paramExploration(ctx context.Context, rng *rand.Rand, round int, group string, subset []Param, ranges map[string]Range, pinned Assignment, priors []Observation) (bool, map[string]Range, error) {
+	// Priors feed Suggest and the range update but do not count toward
+	// TimeLimit, EarlyStop, or History — they are someone else's trials.
+	obs := append([]Observation(nil), priors...)
 	best := math.Inf(1)
 	npc := 0
 	for tc := 0; tc < e.TimeLimit && npc < e.EarlyStop; tc++ {
@@ -347,7 +404,16 @@ func (e *Explorer) paramExploration(ctx context.Context, rng *rand.Rand, subset 
 		for k, v := range x {
 			full[k] = v
 		}
-		y := e.Eval(full)
+		var y float64
+		if e.Evaluate != nil {
+			var err error
+			y, err = e.Evaluate(ctx, Trial{Round: round, Group: group, Index: tc, X: full})
+			if err != nil {
+				return false, updateRanges(subset, ranges, obs, e.TPE.Gamma), err
+			}
+		} else {
+			y = e.Eval(full)
+		}
 		o := Observation{X: full, Y: y}
 		obs = append(obs, o)
 		e.record(o)
@@ -479,8 +545,9 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 	}
 	var gerr error
 	spGlobal := sp.Child("explore.global")
-	_, ranges, gerr = e.paramExploration(ctx, rng, e.Params, ranges, Assignment{})
+	_, ranges, gerr = e.paramExploration(ctx, rng, 0, "", e.Params, ranges, Assignment{}, e.Priors)
 	spGlobal.End()
+	e.snapshot(ranges)
 
 	// Group parameters by declared relevance (line 3).
 	groupNames := []string{}
@@ -523,7 +590,7 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 			for _, p := range sub {
 				delete(pinned, p.Name)
 			}
-			flag, nr, err := e.paramExploration(ctx, grng, sub, ranges, pinned)
+			flag, nr, err := e.paramExploration(ctx, grng, round+1, name, sub, ranges, pinned, nil)
 			results[gi] = groupResult{name: name, flag: flag, ranges: nr, err: err}
 		}
 		if e.Parallel {
@@ -568,6 +635,7 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 				gerr = results[gi].err
 			}
 		}
+		e.snapshot(ranges)
 		if e.Logf != nil {
 			e.Logf("explore: round %d done, converged=%v", round+1, earlyStop)
 		}
@@ -585,6 +653,18 @@ func (e *Explorer) RunCtx(ctx context.Context) (final, bestSeen Assignment, err 
 		}
 	}
 	return final, bestSeen, gerr
+}
+
+// snapshot hands a defensive copy of the ranges to the Snapshot hook.
+func (e *Explorer) snapshot(ranges map[string]Range) {
+	if e.Snapshot == nil {
+		return
+	}
+	cp := make(map[string]Range, len(ranges))
+	for k, v := range ranges {
+		cp[k] = v
+	}
+	e.Snapshot(cp)
 }
 
 func min(a, b int) int {

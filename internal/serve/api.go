@@ -106,6 +106,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
+	if spec.Distributed {
+		apiError(w, http.StatusBadRequest,
+			"distributed exploration requires a fleet coordinator; this is a worker daemon")
+		return
+	}
 	if spec.Profile != "" {
 		if _, err := synth.ProfileByName(spec.Profile); err != nil {
 			apiError(w, http.StatusBadRequest, "%v", err)

@@ -43,9 +43,13 @@ const (
 	// evaluation routing stage). Place jobs checkpoint after every stage
 	// and resume from the spool after a daemon restart.
 	KindPlace = "place"
-	// KindExplore runs the Algorithm-3 strategy exploration. Exploration
-	// holds no cross-trial design state worth spooling, so a parked or
-	// crashed exploration restarts from scratch on re-admission.
+	// KindExplore runs the Algorithm-3 strategy exploration. An in-process
+	// exploration (the default) holds no cross-trial design state worth
+	// spooling, so parked or crashed in-process explorations restart from
+	// scratch on re-admission. A Distributed exploration runs as a farm
+	// controller on the coordinator instead: it checkpoints a
+	// puffer/explore-state/v1 manifest after every observation and resumes
+	// without re-running finished trials.
 	KindExplore = "explore"
 )
 
@@ -93,7 +97,9 @@ type JobSpec struct {
 
 	// MaxIters caps global-placement iterations (0 = engine default).
 	MaxIters int `json:"max_iters,omitempty"`
-	// Workers caps the job's data parallelism (0 = GOMAXPROCS).
+	// Workers caps the job's data parallelism (0 = GOMAXPROCS). For
+	// in-process explore jobs it instead caps how many relevance groups
+	// evaluate concurrently (1 = the fully serial baseline).
 	Workers int `json:"workers,omitempty"`
 	// Route appends the evaluation-routing stage to place jobs.
 	Route bool `json:"route,omitempty"`
@@ -102,6 +108,20 @@ type JobSpec struct {
 	Strategy json.RawMessage `json:"strategy,omitempty"`
 	// Budget is the exploration trial budget for explore jobs (default 8).
 	Budget int `json:"budget,omitempty"`
+	// Distributed runs an explore job as a farm controller on the fleet
+	// coordinator: every TPE trial dispatches as its own place job across
+	// the workers, with cross-trial result caching and durable resume.
+	// Coordinator-only — a plain worker rejects it.
+	Distributed bool `json:"distributed,omitempty"`
+	// EarlyStop (distributed explorations only) cancels trials mid-flight
+	// once their streamed overflow is dominated by a finished competitor.
+	// It trades the deterministic trial scoring for wall clock, so such
+	// explorations never land in the result cache.
+	EarlyStop bool `json:"early_stop,omitempty"`
+	// WarmStart (distributed explorations only) seeds TPE priors and
+	// narrowed ranges from finished explorations of the same design
+	// family in the coordinator's spool.
+	WarmStart bool `json:"warm_start,omitempty"`
 
 	// TimeoutSec is the per-job deadline in seconds, enforced through the
 	// pipeline's context support (0 = the server's default, if any). The
@@ -164,6 +184,12 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Scale < 0 || s.MaxIters < 0 || s.Workers < 0 || s.Budget < 0 || s.TimeoutSec < 0 {
 		return fmt.Errorf("negative scale/max_iters/workers/budget/timeout_sec")
+	}
+	if s.Kind != KindExplore && (s.Distributed || s.EarlyStop || s.WarmStart) {
+		return fmt.Errorf("distributed/early_stop/warm_start only apply to %q jobs", KindExplore)
+	}
+	if !s.Distributed && (s.EarlyStop || s.WarmStart) {
+		return fmt.Errorf("early_stop and warm_start require distributed mode")
 	}
 	if len(s.Checkpoint) > 0 {
 		if s.Kind != KindPlace {
@@ -247,6 +273,10 @@ type Manifest struct {
 	// result/artifact/event reads follow Origin.
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Origin   string `json:"origin,omitempty"`
+	// Parent is the controlling exploration job's ID for trial jobs the
+	// farm controller submits on its own behalf (provenance: a trial's
+	// manifest points back at the exploration that spawned it).
+	Parent string `json:"parent,omitempty"`
 	// DesignDigest/ConfigDigest/ResultDigest are the job's content
 	// addresses (design blob or profile identity, normalized config, and
 	// canonical result JSON once done).

@@ -84,6 +84,10 @@ type Server struct {
 	drainCh  chan struct{} // closed when Drain begins
 	wg       sync.WaitGroup
 
+	// designs shares parsed netlists and RSMT topology memos across jobs
+	// of the same design (keyed by content address).
+	designs *designCache
+
 	mu               sync.Mutex
 	jobs             map[string]*activeJob // every job seen this boot, incl. finished
 	sessions         map[string]*sessionRuntime
@@ -133,6 +137,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:   ctx,
 		stopBase:  cancel,
 		drainCh:   make(chan struct{}),
+		designs:   newDesignCache(),
 		jobs:      make(map[string]*activeJob),
 		sessions:  make(map[string]*sessionRuntime),
 	}

@@ -15,6 +15,7 @@ import (
 	"puffer/internal/obs"
 	"puffer/internal/padding"
 	"puffer/internal/router"
+	"puffer/internal/rsmt"
 	"puffer/internal/synth"
 	"puffer/pipeline"
 )
@@ -235,18 +236,38 @@ func (s *Server) activeCount() int {
 	return n
 }
 
-// buildDesign materializes the job's design: a deterministic synthetic
-// profile (regenerated bit-identically on resume) or the spooled
-// Bookshelf upload (re-parsed on resume).
-func (s *Server) buildDesign(m *Manifest) (*netlist.Design, error) {
-	if m.Spec.Profile != "" {
-		p, err := synth.ProfileByName(m.Spec.Profile)
-		if err != nil {
-			return nil, err
+// buildDesign materializes the job's design through the per-worker design
+// cache: the first job of a design parses (or generates) it and later jobs
+// clone the pristine copy, sharing one RSMT topology memo — the farm's
+// per-(design digest, worker) reuse. The returned design is always the
+// job's own mutable instance; the memo is nil for uncacheable designs.
+func (s *Server) buildDesign(m *Manifest) (*netlist.Design, *rsmt.Memo, error) {
+	key := designKey(m)
+	if key != "" {
+		if e := s.designs.lookup(key); e != nil {
+			s.reg.Counter("serve.design_cache_hits").Inc()
+			return e.base.Clone(), e.topo, nil
 		}
-		return synth.Generate(p, m.Spec.Scale, m.Spec.Seed), nil
 	}
-	return bookshelf.Parse(s.spool.AuxPath(m))
+	s.reg.Counter("serve.design_parses").Inc()
+	var (
+		d   *netlist.Design
+		err error
+	)
+	if m.Spec.Profile != "" {
+		p, perr := synth.ProfileByName(m.Spec.Profile)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		d = synth.Generate(p, m.Spec.Scale, m.Spec.Seed)
+	} else if d, err = bookshelf.Parse(s.spool.AuxPath(m)); err != nil {
+		return nil, nil, err
+	}
+	if key == "" {
+		return d, nil, nil
+	}
+	e := s.designs.insert(key, &designEntry{base: d, topo: rsmt.NewMemo(0)})
+	return e.base.Clone(), e.topo, nil
 }
 
 // placeConfig builds the pipeline configuration for a place job.
@@ -275,7 +296,7 @@ func placeConfig(spec *JobSpec, rec *obs.Recorder, hub *Hub) (pipeline.Config, e
 // execPlace runs (or resumes) a placement job through the staged pipeline,
 // checkpointing into the spool after every stage.
 func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *obs.Recorder) (*JobResult, error) {
-	d, err := s.buildDesign(m)
+	d, topo, err := s.buildDesign(m)
 	if err != nil {
 		return nil, fmt.Errorf("build design: %w", err)
 	}
@@ -283,6 +304,9 @@ func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *
 	if err != nil {
 		return nil, err
 	}
+	// Share the design's RSMT memo across every trial/job of this design
+	// on this worker. rsmt.Build is pure, so this never changes results.
+	cfg.Strategy.Cong.Topo = topo
 	rc, err := pipeline.NewRunContext(d, cfg)
 	if err != nil {
 		return nil, err
@@ -319,7 +343,7 @@ func (s *Server) execPlace(ctx context.Context, m *Manifest, a *activeJob, rec *
 		if runErr != nil && !errors.Is(runErr, pipeline.ErrCanceled) {
 			a.hub.Publish(Event{Type: "log", Line: fmt.Sprintf("resume failed (%v); restarting from scratch", runErr)})
 			os.Remove(ckptPath)
-			if d, err = s.buildDesign(m); err != nil {
+			if d, _, err = s.buildDesign(m); err != nil {
 				return nil, err
 			}
 			if rc, err = pipeline.NewRunContext(d, cfg); err != nil {
@@ -386,10 +410,12 @@ func buildResult(rc *pipeline.RunContext, prior *JobResult) *JobResult {
 	return out
 }
 
-// execExplore runs a strategy-exploration job. Exploration carries no
+// execExplore runs an in-process strategy-exploration job (distributed
+// explorations never reach a worker — the coordinator rejects them into
+// its farm controller instead). In-process exploration carries no
 // resumable design state, so a re-admitted exploration starts over.
 func (s *Server) execExplore(ctx context.Context, m *Manifest, a *activeJob, rec *obs.Recorder) (*JobResult, error) {
-	d, err := s.buildDesign(m)
+	d, _, err := s.buildDesign(m)
 	if err != nil {
 		return nil, fmt.Errorf("build design: %w", err)
 	}
@@ -398,7 +424,13 @@ func (s *Server) execExplore(ctx context.Context, m *Manifest, a *activeJob, rec
 		return nil, err
 	}
 	start := time.Now()
-	final, _, trials, err := puffer.ExploreStrategyObs(ctx, d, cfg.Place, m.Spec.Budget, m.Spec.Seed, cfg.Logf, rec)
+	final, _, trials, err := puffer.ExploreStrategyOpts(ctx, d, cfg.Place, puffer.ExploreOptions{
+		Budget:  m.Spec.Budget,
+		Seed:    m.Spec.Seed,
+		Workers: m.Spec.Workers,
+		Logf:    cfg.Logf,
+		Obs:     rec,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,43 @@
+package xfarm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseExploreState hammers the strict manifest parser: any input
+// either parses into a state that re-encodes and re-parses cleanly, or is
+// rejected — never a panic, never a silently-accepted corruption.
+func FuzzParseExploreState(f *testing.F) {
+	if data, err := validState().Encode(); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		f.Add(append(append([]byte{}, data...), '0'))
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"format":"puffer/explore-state/v1","seed":0,"budget":0,"attempts":0,"trials":[],"updated_at":"2026-01-01T00:00:00Z"}`))
+	f.Add([]byte(`{"format":"puffer/cas-index/v1"}`))
+	f.Add([]byte("UCLA nodes 1.0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ParseState(data)
+		if err != nil {
+			return
+		}
+		enc, err := st.Encode()
+		if err != nil {
+			t.Fatalf("accepted state failed to encode: %v", err)
+		}
+		st2, err := ParseState(enc)
+		if err != nil {
+			t.Fatalf("re-encoded state rejected: %v\n%s", err, enc)
+		}
+		enc2, err := st2.Encode()
+		if err != nil {
+			t.Fatalf("re-parse failed to encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not stable:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

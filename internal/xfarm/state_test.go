@@ -1,0 +1,86 @@
+package xfarm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validState() *State {
+	return &State{
+		Format:       StateFormat,
+		Job:          "j-1",
+		DesignDigest: "sha256-" + strings.Repeat("ab", 32),
+		Seed:         7,
+		Budget:       2,
+		Attempts:     2,
+		Trials: []TrialRecord{
+			{Seq: 1, Round: 0, Index: 0, X: map[string]float64{"beta": 1.5}, JobID: "j-2", State: TrialDone, Score: 0.25, CacheHit: true},
+			{Seq: 2, Round: 1, Group: "formula", Index: 0, X: map[string]float64{"beta": 1.25}, JobID: "j-3", State: TrialSubmitted},
+			{Seq: 3, Round: 1, Group: "control", Index: 0, X: map[string]float64{"beta": 0.5}, State: TrialCanceled, Score: Infeasible, EarlyStopped: true},
+		},
+		Ranges:    map[string]RangeRec{"beta": {Lo: 0.5, Hi: 2}},
+		Best:      map[string]float64{"beta": 1.5},
+		BestScore: 0.25,
+		UpdatedAt: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	st := validState()
+	data, err := st.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := ParseState(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got.Attempts != st.Attempts || len(got.Trials) != len(st.Trials) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Trials[2].State != TrialCanceled || !got.Trials[2].EarlyStopped {
+		t.Fatalf("trial 2 lost its early-stop marker: %+v", got.Trials[2])
+	}
+	if got.Ranges["beta"] != (RangeRec{Lo: 0.5, Hi: 2}) {
+		t.Fatalf("ranges lost: %+v", got.Ranges)
+	}
+}
+
+func TestParseStateRejects(t *testing.T) {
+	valid, err := validState().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(*State)) []byte {
+		st := validState()
+		f(st)
+		data, err := st.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := map[string][]byte{
+		"empty":            []byte("   \n"),
+		"truncated":        valid[:len(valid)/2],
+		"foreign json":     []byte(`{"format":"puffer/job/v1"}`),
+		"not json":         []byte("UCLA nodes 1.0"),
+		"unknown field":    []byte(`{"format":"puffer/explore-state/v1","seed":1,"budget":1,"attempts":1,"trials":[],"bogus":true}`),
+		"trailing data":    append(append([]byte{}, valid...), []byte("{}")...),
+		"bad trial state":  mutate(func(s *State) { s.Trials[0].State = "pending" }),
+		"negative index":   mutate(func(s *State) { s.Trials[0].Index = -1 }),
+		"global has group": mutate(func(s *State) { s.Trials[0].Group = "formula" }),
+		"round sans group": mutate(func(s *State) { s.Trials[1].Group = "" }),
+		"empty assignment": mutate(func(s *State) { s.Trials[0].X = nil }),
+		"duplicate trial":  mutate(func(s *State) { s.Trials = append(s.Trials, s.Trials[0]) }),
+		"bad digest":       mutate(func(s *State) { s.DesignDigest = "sha256-zz" }),
+		"negative budget":  mutate(func(s *State) { s.Budget = -1 }),
+		"inverted range":   mutate(func(s *State) { s.Ranges["beta"] = RangeRec{Lo: 2, Hi: 1} }),
+	}
+	for name, data := range cases {
+		if _, err := ParseState(data); err == nil {
+			t.Errorf("%s: accepted, want rejection", name)
+		}
+	}
+}

@@ -158,16 +158,42 @@ func ExploreStrategyCtx(ctx context.Context, d *netlist.Design, placeCfg place.C
 // and the exploration opens a trace span. A job server streams rec's
 // samples to watchers while the exploration runs. rec may be nil.
 func ExploreStrategyObs(ctx context.Context, d *netlist.Design, placeCfg place.Config, budget int, seed int64, logf func(string, ...any), rec *telemetry.Recorder) (final, best padding.Strategy, obs int, err error) {
+	return ExploreStrategyOpts(ctx, d, placeCfg, ExploreOptions{
+		Budget: budget, Seed: seed, Logf: logf, Obs: rec,
+	})
+}
+
+// ExploreOptions parameterizes ExploreStrategyOpts beyond the positional
+// budget/seed pair.
+type ExploreOptions struct {
+	// Budget is TC of Algorithm 2 (trials per exploration call).
+	Budget int
+	// Seed drives the deterministic trial schedule.
+	Seed int64
+	// Workers caps how many relevance groups evaluate concurrently
+	// (0 = all at once). Every trial runs a full placement flow, so this
+	// is the exploration's peak-memory/CPU knob — and Workers=1 is the
+	// serial baseline a distributed farm is benchmarked against.
+	Workers int
+	Logf    func(format string, args ...any)
+	Obs     *telemetry.Recorder
+}
+
+// ExploreStrategyOpts runs Algorithm 3 with explicit options. It is the
+// common core of the in-process exploration paths; the distributed farm
+// mirrors its Explorer knobs so both produce identical trial schedules.
+func ExploreStrategyOpts(ctx context.Context, d *netlist.Design, placeCfg place.Config, opt ExploreOptions) (final, best padding.Strategy, obs int, err error) {
 	e := &explore.Explorer{
-		Obs:       rec,
+		Obs:       opt.Obs,
 		Params:    StrategyParams(),
 		Eval:      StrategyObjective(d, placeCfg, router.DefaultConfig()),
-		TimeLimit: budget,
-		EarlyStop: max(budget/3, 5),
+		TimeLimit: opt.Budget,
+		EarlyStop: max(opt.Budget/3, 5),
 		Rounds:    2,
 		Parallel:  true,
-		Seed:      seed,
-		Logf:      logf,
+		Workers:   opt.Workers,
+		Seed:      opt.Seed,
+		Logf:      opt.Logf,
 	}
 	fa, ba, err := e.RunCtx(ctx)
 	final = padding.DefaultStrategy()
